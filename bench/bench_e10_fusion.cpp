@@ -1,0 +1,123 @@
+// E10 — the ODIN intro's optimization claim: "ODIN can optimize distributed
+// array expressions. These optimizations include: loop fusion, ..."
+//
+// Ablation: a*x + b*y + c evaluated eagerly (NumPy semantics — one
+// temporary array per operation) vs through the lazy expression layer
+// (one fused pass, zero temporaries). Shape: fusion wins on large arrays
+// where temporaries blow the cache and allocation cost matters; both are
+// communication-free.
+#include <benchmark/benchmark.h>
+
+#include "comm/runner.hpp"
+#include "odin/expr.hpp"
+#include "odin/ufunc.hpp"
+
+namespace pc = pyhpc::comm;
+namespace od = pyhpc::odin;
+using Arr = od::DistArray<double>;
+
+namespace {
+
+void BM_AxpbypcEager(benchmark::State& state) {
+  const od::index_t n = state.range(0);
+  const int ranks = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    pc::run(ranks, [n](pc::Communicator& comm) {
+      auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+      auto x = Arr::random(dist, 1);
+      auto y = Arr::random(dist, 2);
+      // Eager: (x*2) -> temp1; (y*3) -> temp2; temp1+temp2 -> temp3;
+      // temp3 + 1 -> result. Four local allocations and passes.
+      auto r = x * 2.0 + y * 3.0 + 1.0;
+      benchmark::DoNotOptimize(r.local_view().data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AxpbypcEager)->Args({1 << 16, 1})->Args({1 << 21, 1})->Args({1 << 21, 4});
+
+void BM_AxpbypcFused(benchmark::State& state) {
+  const od::index_t n = state.range(0);
+  const int ranks = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    pc::run(ranks, [n](pc::Communicator& comm) {
+      auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+      auto x = Arr::random(dist, 1);
+      auto y = Arr::random(dist, 2);
+      auto r = od::eval(od::lazy(x) * 2.0 + od::lazy(y) * 3.0 + 1.0);
+      benchmark::DoNotOptimize(r.local_view().data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AxpbypcFused)->Args({1 << 16, 1})->Args({1 << 21, 1})->Args({1 << 21, 4});
+
+// Longer chain where eager evaluation allocates 6 temporaries.
+void BM_LongChainEager(benchmark::State& state) {
+  const od::index_t n = state.range(0);
+  for (auto _ : state) {
+    pc::run(1, [n](pc::Communicator& comm) {
+      auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+      auto x = Arr::random(dist, 1);
+      auto y = Arr::random(dist, 2);
+      auto z = Arr::random(dist, 3);
+      auto r = x * 1.5 + y * 2.5 + z * 3.5 + x * 0.5 + y;
+      benchmark::DoNotOptimize(r.local_view().data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LongChainEager)->Arg(1 << 21);
+
+void BM_LongChainFused(benchmark::State& state) {
+  const od::index_t n = state.range(0);
+  for (auto _ : state) {
+    pc::run(1, [n](pc::Communicator& comm) {
+      auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+      auto x = Arr::random(dist, 1);
+      auto y = Arr::random(dist, 2);
+      auto z = Arr::random(dist, 3);
+      auto r = od::eval(od::lazy(x) * 1.5 + od::lazy(y) * 2.5 +
+                        od::lazy(z) * 3.5 + od::lazy(x) * 0.5 + od::lazy(z));
+      benchmark::DoNotOptimize(r.local_view().data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LongChainFused)->Arg(1 << 21);
+
+// Isolate the kernel cost (no array creation in the loop): pre-built
+// arrays, repeated evaluation.
+void BM_KernelOnlyEager(benchmark::State& state) {
+  const od::index_t n = state.range(0);
+  pc::run(1, [&state, n](pc::Communicator& comm) {
+    auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+    auto x = Arr::random(dist, 1);
+    auto y = Arr::random(dist, 2);
+    for (auto _ : state) {
+      auto r = x * 2.0 + y * 3.0 + 1.0;
+      benchmark::DoNotOptimize(r.local_view().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+  });
+}
+BENCHMARK(BM_KernelOnlyEager)->Arg(1 << 21);
+
+void BM_KernelOnlyFused(benchmark::State& state) {
+  const od::index_t n = state.range(0);
+  pc::run(1, [&state, n](pc::Communicator& comm) {
+    auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+    auto x = Arr::random(dist, 1);
+    auto y = Arr::random(dist, 2);
+    for (auto _ : state) {
+      auto r = od::eval(od::lazy(x) * 2.0 + od::lazy(y) * 3.0 + 1.0);
+      benchmark::DoNotOptimize(r.local_view().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+  });
+}
+BENCHMARK(BM_KernelOnlyFused)->Arg(1 << 21);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// E1 — §III.C hypot example:
+//   @odin.local
+//   def hypot(x, y): return odin.sqrt(x**2 + y**2)
+//   x = odin.random((n,)); y = odin.random((n,)); h = hypot(x, y)
+//
+// Global-mode ufunc vs the odin.local registered function vs serial NumPy-
+// style loop, over sizes and rank counts. Expected shape: conformable
+// arrays -> zero element traffic in every distributed variant; per-element
+// cost flat in rank count (ranks are threads on one core, so wall time
+// does not drop — DESIGN.md §2 explains why the byte counters are the
+// portable signal).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "comm/runner.hpp"
+#include "odin/local.hpp"
+#include "odin/ufunc.hpp"
+
+namespace pc = pyhpc::comm;
+namespace od = pyhpc::odin;
+using Arr = od::DistArray<double>;
+
+namespace {
+
+void BM_HypotSerialLoop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x(n), y(n), h(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.1 * static_cast<double>(i % 100);
+    y[i] = 0.2 * static_cast<double>(i % 50);
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) h[i] = std::hypot(x[i], y[i]);
+    benchmark::DoNotOptimize(h.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HypotSerialLoop)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_HypotGlobalUfunc(benchmark::State& state) {
+  const od::index_t n = state.range(0);
+  const int ranks = static_cast<int>(state.range(1));
+  std::uint64_t bytes_moved = 0;
+  for (auto _ : state) {
+    auto stats = pc::run_with_stats(ranks, [n](pc::Communicator& comm) {
+      auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+      auto x = Arr::random(dist, 1);
+      auto y = Arr::random(dist, 2);
+      comm.stats().reset();
+      auto h = od::hypot(x, y);
+      benchmark::DoNotOptimize(h.local_view().data());
+    });
+    bytes_moved = stats.p2p_bytes_sent + stats.coll_bytes_sent;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["element_bytes_moved"] =
+      static_cast<double>(bytes_moved);
+}
+BENCHMARK(BM_HypotGlobalUfunc)
+    ->Args({1 << 14, 1})
+    ->Args({1 << 14, 4})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4})
+    ->Args({1 << 20, 8});
+
+void BM_HypotLocalFunction(benchmark::State& state) {
+  // The @odin.local path: the function is registered once (broadcast to
+  // workers) and invoked from the global level by name.
+  od::LocalRegistry::instance().register_function(
+      "hypot",
+      [](const od::LocalContext&,
+         const std::vector<std::span<const double>>& in,
+         std::span<double> out) {
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          out[i] = std::sqrt(in[0][i] * in[0][i] + in[1][i] * in[1][i]);
+        }
+      });
+  const od::index_t n = state.range(0);
+  const int ranks = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    pc::run(ranks, [n](pc::Communicator& comm) {
+      auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+      auto x = Arr::random(dist, 1);
+      auto y = Arr::random(dist, 2);
+      auto h = od::call_local("hypot", x, y);
+      benchmark::DoNotOptimize(h.local_view().data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HypotLocalFunction)
+    ->Args({1 << 14, 1})
+    ->Args({1 << 14, 4})
+    ->Args({1 << 20, 4});
+
+// The expression form sqrt(x**2 + y**2) with eager temporaries, as a user
+// would write it globally.
+void BM_HypotGlobalExpression(benchmark::State& state) {
+  const od::index_t n = state.range(0);
+  const int ranks = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    pc::run(ranks, [n](pc::Communicator& comm) {
+      auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+      auto x = Arr::random(dist, 1);
+      auto y = Arr::random(dist, 2);
+      auto h = od::sqrt(od::square(x) + od::square(y));
+      benchmark::DoNotOptimize(h.local_view().data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HypotGlobalExpression)->Args({1 << 14, 4})->Args({1 << 20, 4});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// E3 — §III.G finite differences via distributed slicing, verbatim:
+//   x = odin.linspace(1, 2*pi, n); y = odin.sin(x)
+//   dx = x[1] - x[0]; dy = y[1:] - y[:-1]; dydx = dy / dx
+//
+// Three implementations: general slice-based (what the NumPy syntax
+// expresses), the hand-optimized halo exchange (what an MPI programmer
+// writes, one 8-byte message per interior boundary), and a serial loop.
+// Shape: halo traffic is O(P) bytes, independent of n — "its computation
+// requires some small amount of inter-node communication".
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "comm/runner.hpp"
+#include "odin/slicing.hpp"
+#include "odin/ufunc.hpp"
+
+namespace pc = pyhpc::comm;
+namespace od = pyhpc::odin;
+using Arr = od::DistArray<double>;
+
+namespace {
+
+void BM_FindiffSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> x(n), y(n), dydx(n - 1);
+  const double lo = 1.0, hi = 2.0 * M_PI;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+    y[i] = std::sin(x[i]);
+  }
+  const double dx = x[1] - x[0];
+  for (auto _ : state) {
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      dydx[i] = (y[i + 1] - y[i]) / dx;
+    }
+    benchmark::DoNotOptimize(dydx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FindiffSerial)->Arg(1 << 16)->Arg(1 << 21);
+
+void BM_FindiffOdinSlices(benchmark::State& state) {
+  // The paper's one-liner dy = y[1:] - y[:-1] through the general slice
+  // machinery (each slice rebalances onto a fresh block distribution).
+  const od::index_t n = state.range(0);
+  const int ranks = static_cast<int>(state.range(1));
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto stats = pc::run_with_stats(ranks, [n](pc::Communicator& comm) {
+      auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+      auto x = Arr::linspace(dist, 1.0, 2.0 * M_PI);
+      auto y = od::sin(x);
+      const double dx = x.get_global({1}) - x.get_global({0});
+      comm.stats().reset();
+      auto dy = od::slice1d(y, od::Slice::from(1)) -
+                od::slice1d(y, od::Slice::to(-1));
+      auto dydx = dy / dx;
+      benchmark::DoNotOptimize(dydx.local_view().data());
+    });
+    bytes = stats.p2p_bytes_sent + stats.coll_bytes_sent;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["bytes_moved"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_FindiffOdinSlices)->Args({1 << 16, 4})->Args({1 << 18, 4});
+
+void BM_FindiffHaloExchange(benchmark::State& state) {
+  // Same result with the one-element halo path; the counter shows the
+  // O(boundary) traffic: 8 bytes per interior rank boundary.
+  const od::index_t n = state.range(0);
+  const int ranks = static_cast<int>(state.range(1));
+  std::uint64_t p2p_bytes = 0;
+  std::uint64_t p2p_msgs = 0;
+  for (auto _ : state) {
+    auto stats = pc::run_with_stats(ranks, [n](pc::Communicator& comm) {
+      auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+      auto x = Arr::linspace(dist, 1.0, 2.0 * M_PI);
+      auto y = od::sin(x);
+      const double dx = x.get_global({1}) - x.get_global({0});
+      comm.stats().reset();
+      auto dy = od::shifted_diff(y);
+      auto dydx = dy / dx;
+      benchmark::DoNotOptimize(dydx.local_view().data());
+    });
+    p2p_bytes = stats.p2p_bytes_sent;
+    p2p_msgs = stats.p2p_messages_sent;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["halo_bytes"] = static_cast<double>(p2p_bytes);
+  state.counters["halo_msgs"] = static_cast<double>(p2p_msgs);
+}
+BENCHMARK(BM_FindiffHaloExchange)
+    ->Args({1 << 16, 2})
+    ->Args({1 << 16, 4})
+    ->Args({1 << 18, 4})
+    ->Args({1 << 21, 4});
+
+// Accuracy spot check folded into a bench so EXPERIMENTS.md can quote it:
+// max |dydx - cos(mid)| at n = 2^16.
+void BM_FindiffAccuracy(benchmark::State& state) {
+  double max_err = 0.0;
+  for (auto _ : state) {
+    pc::run(4, [&max_err](pc::Communicator& comm) {
+      const od::index_t n = 1 << 16;
+      auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+      auto x = Arr::linspace(dist, 1.0, 2.0 * M_PI);
+      auto y = od::sin(x);
+      const double dx = x.get_global({1}) - x.get_global({0});
+      auto dydx = od::shifted_diff(y) / dx;
+      auto xs = x.gather();
+      auto ds = dydx.gather();
+      double err = 0.0;
+      for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+        const double mid = 0.5 * (xs[i] + xs[i + 1]);
+        err = std::max(err, std::abs(ds[i] - std::cos(mid)));
+      }
+      if (comm.rank() == 0) max_err = err;
+    });
+  }
+  state.counters["max_abs_error"] = max_err;
+}
+BENCHMARK(BM_FindiffAccuracy)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

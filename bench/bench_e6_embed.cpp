@@ -1,0 +1,97 @@
+// E6 — §IV.D "Python as an algorithm specification language": the paper's
+// exact listing —
+//   int arr[100];              seamless::numpy::sum(arr);
+//   std::vector<double> darr;  seamless::numpy::sum(darr);
+// — plus a size sweep of the compiled-from-MiniPy sum against
+// std::accumulate. Expected shape: near-native for double inputs (zero-copy
+// view), a conversion cost for int inputs.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "seamless/seamless.hpp"
+
+namespace np = pyhpc::seamless::numpy;
+
+namespace {
+
+void BM_PaperIntArray100(benchmark::State& state) {
+  int arr[100];
+  for (int i = 0; i < 100; ++i) arr[i] = i;
+  double result = 0.0;
+  for (auto _ : state) {
+    result = np::sum(arr);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["result"] = result;
+}
+BENCHMARK(BM_PaperIntArray100);
+
+void BM_PaperDoubleVector100(benchmark::State& state) {
+  std::vector<double> darr(100);
+  for (int i = 0; i < 100; ++i) darr[static_cast<std::size_t>(i)] = 0.5 * i;
+  double result = 0.0;
+  for (auto _ : state) {
+    result = np::sum(darr);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["result"] = result;
+}
+BENCHMARK(BM_PaperDoubleVector100);
+
+void BM_EmbeddedSumVsSize(benchmark::State& state) {
+  std::vector<double> v(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<double>(i % 11);
+  }
+  double result = 0.0;
+  for (auto _ : state) {
+    result = np::sum(v);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EmbeddedSumVsSize)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_StdAccumulateVsSize(benchmark::State& state) {
+  std::vector<double> v(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<double>(i % 11);
+  }
+  double result = 0.0;
+  for (auto _ : state) {
+    result = std::accumulate(v.begin(), v.end(), 0.0);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StdAccumulateVsSize)->Arg(100)->Arg(10000)->Arg(1000000);
+
+void BM_EmbeddedDot(benchmark::State& state) {
+  std::vector<double> a(static_cast<std::size_t>(state.range(0)), 1.5);
+  std::vector<double> b(static_cast<std::size_t>(state.range(0)), 2.0);
+  double result = 0.0;
+  for (auto _ : state) {
+    result = np::dot(a, b);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EmbeddedDot)->Arg(10000);
+
+void BM_NativeDot(benchmark::State& state) {
+  std::vector<double> a(static_cast<std::size_t>(state.range(0)), 1.5);
+  std::vector<double> b(static_cast<std::size_t>(state.range(0)), 2.0);
+  double result = 0.0;
+  for (auto _ : state) {
+    result = std::inner_product(a.begin(), a.end(), b.begin(), 0.0);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NativeDot)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

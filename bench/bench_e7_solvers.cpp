@@ -1,0 +1,170 @@
+// E7 — the §II/V "massively parallel solves" claim: Krylov solvers on the
+// 2D Laplacian with the preconditioner ladder, swept over problem size and
+// rank count.
+//
+// Shapes to reproduce (standard Krylov/multigrid theory, which is what the
+// paper's solver stack promises): unpreconditioned CG iterations grow ~
+// like the grid dimension; ILU(0) reduces them by a constant factor; AMG
+// iteration counts stay nearly flat as the problem grows. Byte counters
+// show communication per iteration scaling with the boundary, not the
+// volume.
+#include <benchmark/benchmark.h>
+
+#include "comm/runner.hpp"
+#include "galeri/gallery.hpp"
+#include "precond/amg.hpp"
+#include "precond/preconditioner.hpp"
+#include "solvers/krylov.hpp"
+
+namespace pc = pyhpc::comm;
+namespace gl = pyhpc::galeri;
+namespace pp = pyhpc::precond;
+namespace sv = pyhpc::solvers;
+
+namespace {
+
+enum PrecondKind { kNone = 0, kJacobi = 1, kIlu0 = 2, kAmg = 3 };
+
+const char* precond_name(int kind) {
+  switch (kind) {
+    case kJacobi: return "jacobi";
+    case kIlu0: return "ilu0";
+    case kAmg: return "amg";
+    default: return "none";
+  }
+}
+
+void BM_CgLaplace2d(benchmark::State& state) {
+  const auto grid = state.range(0);  // grid x grid unknowns
+  const int ranks = static_cast<int>(state.range(1));
+  const int kind = static_cast<int>(state.range(2));
+  int iterations = 0;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto stats = pc::run_with_stats(
+        ranks, [grid, kind, &iterations](pc::Communicator& comm) {
+          auto a = gl::laplace2d(comm, grid, grid);
+          auto b = gl::rhs_for_ones(a);
+          gl::Vector x(a.domain_map(), 0.0);
+          std::unique_ptr<pp::Preconditioner> m;
+          switch (kind) {
+            case kJacobi:
+              m = std::make_unique<pp::JacobiPreconditioner>(a);
+              break;
+            case kIlu0:
+              m = std::make_unique<pp::Ilu0Preconditioner>(a);
+              break;
+            case kAmg:
+              m = std::make_unique<pp::AmgPreconditioner>(a);
+              break;
+            default:
+              break;
+          }
+          comm.stats().reset();
+          sv::KrylovOptions opt;
+          opt.max_iterations = 5000;
+          auto res = sv::cg_solve(a, b, x, opt, m.get());
+          if (comm.rank() == 0) iterations = res.iterations;
+        });
+    bytes = stats.coll_bytes_sent + stats.p2p_bytes_sent;
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetLabel(precond_name(kind));
+  state.counters["iterations"] = iterations;
+  state.counters["bytes_per_iter"] =
+      iterations > 0 ? static_cast<double>(bytes) / iterations : 0.0;
+}
+BENCHMARK(BM_CgLaplace2d)
+    // Size sweep at fixed preconditioner: iteration growth.
+    ->Args({16, 2, kNone})
+    ->Args({32, 2, kNone})
+    ->Args({64, 2, kNone})
+    ->Args({16, 2, kAmg})
+    ->Args({32, 2, kAmg})
+    ->Args({64, 2, kAmg})
+    // Preconditioner ladder at fixed size.
+    ->Args({48, 2, kNone})
+    ->Args({48, 2, kJacobi})
+    ->Args({48, 2, kIlu0})
+    ->Args({48, 2, kAmg})
+    // Rank sweep at fixed problem.
+    ->Args({48, 1, kIlu0})
+    ->Args({48, 4, kIlu0})
+    ->Args({48, 8, kIlu0})
+    ->Iterations(1);
+
+void BM_GmresConvectionDiffusion(benchmark::State& state) {
+  const auto grid = state.range(0);
+  const int ranks = static_cast<int>(state.range(1));
+  const int kind = static_cast<int>(state.range(2));
+  int iterations = 0;
+  for (auto _ : state) {
+    pc::run(ranks, [grid, kind, &iterations](pc::Communicator& comm) {
+      auto a = gl::convection_diffusion_2d(comm, grid, grid, 12.0, -7.0);
+      auto b = gl::rhs_for_ones(a);
+      gl::Vector x(a.domain_map(), 0.0);
+      std::unique_ptr<pp::Preconditioner> m;
+      if (kind == kIlu0) m = std::make_unique<pp::Ilu0Preconditioner>(a);
+      if (kind == kJacobi) m = std::make_unique<pp::JacobiPreconditioner>(a);
+      sv::KrylovOptions opt;
+      opt.max_iterations = 3000;
+      auto res = sv::gmres_solve(a, b, x, opt, m.get());
+      if (comm.rank() == 0) iterations = res.iterations;
+    });
+  }
+  state.SetLabel(precond_name(kind));
+  state.counters["iterations"] = iterations;
+}
+BENCHMARK(BM_GmresConvectionDiffusion)
+    ->Args({32, 2, kNone})
+    ->Args({32, 2, kJacobi})
+    ->Args({32, 2, kIlu0})
+    ->Iterations(1);
+
+void BM_BicgstabVsGmres(benchmark::State& state) {
+  const bool use_bicgstab = state.range(0) == 1;
+  int iterations = 0;
+  for (auto _ : state) {
+    pc::run(2, [use_bicgstab, &iterations](pc::Communicator& comm) {
+      auto a = gl::convection_diffusion_2d(comm, 28, 28, 6.0, 6.0);
+      auto b = gl::rhs_for_ones(a);
+      gl::Vector x(a.domain_map(), 0.0);
+      sv::KrylovOptions opt;
+      opt.max_iterations = 3000;
+      auto res = use_bicgstab ? sv::bicgstab_solve(a, b, x, opt)
+                              : sv::gmres_solve(a, b, x, opt);
+      if (comm.rank() == 0) iterations = res.iterations;
+    });
+  }
+  state.SetLabel(use_bicgstab ? "bicgstab" : "gmres");
+  state.counters["iterations"] = iterations;
+}
+BENCHMARK(BM_BicgstabVsGmres)->Arg(0)->Arg(1)->Iterations(1);
+
+// AMG setup vs solve cost, and the prolongator-smoothing ablation
+// (DESIGN.md §5: plain vs smoothed aggregation).
+void BM_AmgSetupAblation(benchmark::State& state) {
+  const bool smoothed = state.range(0) == 1;
+  int iterations = 0;
+  for (auto _ : state) {
+    pc::run(2, [smoothed, &iterations](pc::Communicator& comm) {
+      auto a = gl::laplace2d(comm, 48, 48);
+      auto b = gl::rhs_for_ones(a);
+      gl::Vector x(a.domain_map(), 0.0);
+      pp::AmgOptions opt;
+      if (!smoothed) opt.prolongator_damping = 0.0;
+      pp::AmgPreconditioner amg(a, opt);
+      sv::KrylovOptions kopt;
+      kopt.max_iterations = 2000;
+      auto res = sv::cg_solve(a, b, x, kopt, &amg);
+      if (comm.rank() == 0) iterations = res.iterations;
+    });
+  }
+  state.SetLabel(smoothed ? "smoothed_aggregation" : "plain_aggregation");
+  state.counters["iterations"] = iterations;
+}
+BENCHMARK(BM_AmgSetupAblation)->Arg(1)->Arg(0)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// E8 — §III.A distribution control: creation cost per scheme,
+// global-to-local mapping throughput, and redistribution cost between
+// schemes. "Some aspects of the distribution that can be controlled are:
+// which nodes ..., which dimension ..., non-uniform sections ..., and
+// either block, cyclic, block-cyclic, or another arbitrary global-to-local
+// index mapping."
+#include <benchmark/benchmark.h>
+
+#include "comm/runner.hpp"
+#include "odin/dist_array.hpp"
+
+namespace pc = pyhpc::comm;
+namespace od = pyhpc::odin;
+using Arr = od::DistArray<double>;
+
+namespace {
+
+od::Distribution make_scheme(int scheme, pc::Communicator& comm,
+                             od::index_t n) {
+  switch (scheme) {
+    case 0: return od::Distribution::block(comm, od::Shape({n}), 0);
+    case 1: return od::Distribution::cyclic(comm, od::Shape({n}), 0);
+    case 2:
+      return od::Distribution::block_cyclic(comm, od::Shape({n}), 0, 16);
+    default: {
+      std::vector<od::index_t> sizes(static_cast<std::size_t>(comm.size()),
+                                     n / comm.size());
+      sizes[0] += n % comm.size();
+      return od::Distribution::explicit_block(comm, od::Shape({n}), 0, sizes);
+    }
+  }
+}
+
+const char* scheme_name(int scheme) {
+  switch (scheme) {
+    case 0: return "block";
+    case 1: return "cyclic";
+    case 2: return "block_cyclic16";
+    default: return "explicit";
+  }
+}
+
+void BM_CreateArray(benchmark::State& state) {
+  const od::index_t n = state.range(0);
+  const int ranks = static_cast<int>(state.range(1));
+  const int scheme = static_cast<int>(state.range(2));
+  for (auto _ : state) {
+    pc::run(ranks, [n, scheme](pc::Communicator& comm) {
+      auto dist = make_scheme(scheme, comm, n);
+      auto a = Arr::random(dist, 7);
+      benchmark::DoNotOptimize(a.local_view().data());
+    });
+  }
+  state.SetLabel(scheme_name(scheme));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CreateArray)
+    ->Args({1 << 18, 4, 0})
+    ->Args({1 << 18, 4, 1})
+    ->Args({1 << 18, 4, 2})
+    ->Args({1 << 18, 4, 3});
+
+// Pure index arithmetic: global_of_local + owner_of round trips per second.
+void BM_GlobalLocalMapping(benchmark::State& state) {
+  const int scheme = static_cast<int>(state.range(0));
+  pc::run(1, [&state, scheme](pc::Communicator& comm) {
+    const od::index_t n = 1 << 16;
+    auto dist = make_scheme(scheme, comm, n);
+    od::index_t checksum = 0;
+    for (auto _ : state) {
+      for (od::index_t l = 0; l < dist.local_count(); l += 7) {
+        const auto g = dist.global_of_local(l);
+        checksum += dist.owner_of(g).second;
+      }
+      benchmark::DoNotOptimize(checksum);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(dist.local_count() / 7));
+  });
+  state.SetLabel(scheme_name(scheme));
+}
+BENCHMARK(BM_GlobalLocalMapping)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Redistribute(benchmark::State& state) {
+  const od::index_t n = state.range(0);
+  const int ranks = static_cast<int>(state.range(1));
+  const int from = static_cast<int>(state.range(2));
+  const int to = static_cast<int>(state.range(3));
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto stats =
+        pc::run_with_stats(ranks, [n, from, to](pc::Communicator& comm) {
+          auto a = Arr::random(make_scheme(from, comm, n), 3);
+          comm.stats().reset();
+          auto b = od::redistribute(a, make_scheme(to, comm, n));
+          benchmark::DoNotOptimize(b.local_view().data());
+        });
+    bytes = stats.p2p_bytes_sent + stats.coll_bytes_sent;
+  }
+  state.SetLabel(std::string(scheme_name(from)) + "->" + scheme_name(to));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["bytes_moved"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_Redistribute)
+    ->Args({1 << 16, 4, 0, 1})
+    ->Args({1 << 16, 4, 1, 0})
+    ->Args({1 << 16, 4, 0, 2})
+    ->Args({1 << 16, 4, 0, 3})
+    ->Args({1 << 16, 4, 0, 0});  // identity: plan cost only
+
+}  // namespace
+
+BENCHMARK_MAIN();

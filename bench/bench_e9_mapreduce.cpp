@@ -1,0 +1,129 @@
+// E9 — §III.I distributed tabular data + map-reduce: "distributed
+// structured arrays provide the fundamental components for parallel
+// Map-Reduce style computations".
+//
+// Workload: group-by-sum over structured sales records, swept over row
+// counts, rank counts, and key skew. Shape: shuffle bytes scale with the
+// number of distinct (rank, key) combiner outputs — not with row count —
+// because of the local combine; skewed keys concentrate reducer load.
+#include <benchmark/benchmark.h>
+
+#include "comm/runner.hpp"
+#include "odin/tabular.hpp"
+#include "util/random.hpp"
+
+namespace pc = pyhpc::comm;
+namespace od = pyhpc::odin;
+
+namespace {
+
+struct Sale {
+  std::int64_t store;
+  std::int64_t item;
+  double amount;
+};
+
+od::DistTable<Sale> make_table(pc::Communicator& comm, std::int64_t rows,
+                               std::int64_t num_keys, bool skewed) {
+  const std::int64_t per_rank = rows / comm.size();
+  pyhpc::util::Xoshiro256 rng(42, static_cast<std::uint64_t>(comm.rank()));
+  std::vector<Sale> local;
+  local.reserve(static_cast<std::size_t>(per_rank));
+  for (std::int64_t i = 0; i < per_rank; ++i) {
+    std::int64_t key = rng.next_int(0, num_keys - 1);
+    if (skewed && rng.next_double() < 0.8) key = 0;  // hot key
+    local.push_back(Sale{key, i % 13, rng.next_double() * 100.0});
+  }
+  return od::DistTable<Sale>(comm, std::move(local));
+}
+
+void BM_GroupBySum(benchmark::State& state) {
+  const std::int64_t rows = state.range(0);
+  const int ranks = static_cast<int>(state.range(1));
+  const std::int64_t keys = state.range(2);
+  std::uint64_t shuffle_bytes = 0;
+  for (auto _ : state) {
+    auto stats =
+        pc::run_with_stats(ranks, [rows, keys](pc::Communicator& comm) {
+          auto table = make_table(comm, rows, keys, false);
+          comm.stats().reset();
+          auto grouped = od::map_reduce<std::int64_t, double>(
+              table,
+              [](const Sale& s) {
+                return std::pair<std::int64_t, double>(s.store, s.amount);
+              },
+              [](double acc, double v) { return acc + v; });
+          benchmark::DoNotOptimize(grouped.data());
+        });
+    shuffle_bytes = stats.coll_bytes_sent;
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.counters["shuffle_bytes"] = static_cast<double>(shuffle_bytes);
+}
+BENCHMARK(BM_GroupBySum)
+    ->Args({1 << 14, 4, 16})
+    ->Args({1 << 17, 4, 16})     // 8x rows, same keys -> same shuffle bytes
+    ->Args({1 << 17, 4, 4096})   // more keys -> more shuffle bytes
+    ->Args({1 << 17, 8, 16});
+
+void BM_GroupBySumSkewed(benchmark::State& state) {
+  const std::int64_t rows = state.range(0);
+  const int ranks = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    pc::run(ranks, [rows](pc::Communicator& comm) {
+      auto table = make_table(comm, rows, 64, true);
+      auto grouped = od::map_reduce<std::int64_t, double>(
+          table,
+          [](const Sale& s) {
+            return std::pair<std::int64_t, double>(s.store, s.amount);
+          },
+          [](double acc, double v) { return acc + v; });
+      benchmark::DoNotOptimize(grouped.data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_GroupBySumSkewed)->Args({1 << 17, 4});
+
+void BM_FilterMapPipeline(benchmark::State& state) {
+  // Local-only pipeline stages (filter + map) never touch the wire.
+  const std::int64_t rows = state.range(0);
+  const int ranks = static_cast<int>(state.range(1));
+  std::uint64_t p2p = 0;
+  for (auto _ : state) {
+    auto stats = pc::run_with_stats(ranks, [rows](pc::Communicator& comm) {
+      auto table = make_table(comm, rows, 64, false);
+      comm.stats().reset();
+      auto big = table.filter([](const Sale& s) { return s.amount > 50.0; });
+      auto amounts = big.map<double>([](const Sale& s) { return s.amount; });
+      benchmark::DoNotOptimize(amounts.local_rows().data());
+    });
+    p2p = stats.p2p_bytes_sent + stats.coll_bytes_sent;
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.counters["bytes_moved"] = static_cast<double>(p2p);
+}
+BENCHMARK(BM_FilterMapPipeline)->Args({1 << 17, 4});
+
+void BM_Rebalance(benchmark::State& state) {
+  // All rows on rank 0 -> even redistribution.
+  const std::int64_t rows = state.range(0);
+  const int ranks = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    pc::run(ranks, [rows](pc::Communicator& comm) {
+      std::vector<Sale> local;
+      if (comm.rank() == 0) {
+        local.resize(static_cast<std::size_t>(rows), Sale{1, 2, 3.0});
+      }
+      od::DistTable<Sale> table(comm, std::move(local));
+      auto balanced = table.rebalance();
+      benchmark::DoNotOptimize(balanced.local_rows().data());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_Rebalance)->Args({1 << 16, 4});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,232 @@
+// T1 — Table I: "Trilinos packages included in PyTrilinos". One benchmark
+// per package row, exercising this repo's analogue end-to-end; running the
+// binary regenerates the table as (package, representative operation,
+// time) rows.
+//
+//   Epetra      linear algebra vector and operator classes
+//   EpetraExt   extensions (I/O, sparse transposes, ...)
+//   Teuchos     general tools (parameter lists, XML I/O, ...)
+//   TriUtils    testing utilities
+//   Isorropia   partitioning algorithms
+//   AztecOO     iterative Krylov-space linear solvers
+//   Galeri      examples of common maps and matrices
+//   Amesos      uniform interface to third-party direct solvers
+//   Ifpack      algebraic preconditioners
+//   Komplex     complex vectors/matrices via real objects
+//   Anasazi     eigensolvers
+//   ML          multi-level (algebraic multigrid) preconditioners
+//   NOX         nonlinear solvers
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "comm/runner.hpp"
+#include "epetraext/epetraext.hpp"
+#include "galeri/gallery.hpp"
+#include "isorropia/partition.hpp"
+#include "komplex/komplex.hpp"
+#include "precond/amg.hpp"
+#include "precond/preconditioner.hpp"
+#include "solvers/amesos.hpp"
+#include "solvers/anasazi.hpp"
+#include "solvers/krylov.hpp"
+#include "solvers/nox.hpp"
+#include "teuchos/parameter_list.hpp"
+#include "teuchos/timer.hpp"
+
+namespace pc = pyhpc::comm;
+namespace gl = pyhpc::galeri;
+
+namespace {
+constexpr int kRanks = 2;
+constexpr std::int64_t kN = 512;
+
+void BM_Epetra_VectorOps(benchmark::State& state) {
+  for (auto _ : state) {
+    pc::run(kRanks, [](pc::Communicator& comm) {
+      auto map = gl::Map::uniform(comm, kN);
+      gl::Vector x(map), y(map);
+      x.randomize(1);
+      y.randomize(2);
+      y.update(2.0, x, 1.0);
+      benchmark::DoNotOptimize(x.dot(y) + y.norm2());
+    });
+  }
+}
+BENCHMARK(BM_Epetra_VectorOps);
+
+void BM_EpetraExt_Transpose(benchmark::State& state) {
+  for (auto _ : state) {
+    pc::run(kRanks, [](pc::Communicator& comm) {
+      auto a = gl::convection_diffusion_2d(comm, 20, 20, 3.0, -1.0);
+      auto at = pyhpc::epetraext::transpose(a);
+      benchmark::DoNotOptimize(at.num_global_entries());
+    });
+  }
+}
+BENCHMARK(BM_EpetraExt_Transpose);
+
+void BM_Teuchos_ParameterListXml(benchmark::State& state) {
+  for (auto _ : state) {
+    pyhpc::teuchos::ParameterList pl("Solver");
+    pl.set("tolerance", 1e-8);
+    pl.sublist("ML").set("levels", 4);
+    pl.sublist("ML").set("smoother", "jacobi");
+    auto back = pyhpc::teuchos::ParameterList::from_xml(pl.to_xml());
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_Teuchos_ParameterListXml);
+
+void BM_TriUtils_TimedTestHarness(benchmark::State& state) {
+  // TriUtils-style harness: build a gallery problem, time phases, verify.
+  for (auto _ : state) {
+    pc::run(kRanks, [](pc::Communicator& comm) {
+      pyhpc::teuchos::Timer timer("harness");
+      timer.start();
+      auto a = gl::laplace1d(gl::Map::uniform(comm, kN));
+      auto b = gl::rhs_for_ones(a);
+      gl::Vector x(a.domain_map(), 0.0);
+      auto res = pyhpc::solvers::cg_solve(a, b, x);
+      timer.stop();
+      pyhpc::require(res.converged, "harness: solve failed");
+      benchmark::DoNotOptimize(timer.total_seconds());
+    });
+  }
+}
+BENCHMARK(BM_TriUtils_TimedTestHarness);
+
+void BM_Isorropia_Partition(benchmark::State& state) {
+  for (auto _ : state) {
+    pc::run(kRanks, [](pc::Communicator& comm) {
+      auto a = gl::laplace1d(gl::Map::uniform(comm, kN));
+      auto newmap = pyhpc::isorropia::partition_by_nonzeros(a);
+      benchmark::DoNotOptimize(newmap.num_local());
+    });
+  }
+}
+BENCHMARK(BM_Isorropia_Partition);
+
+void BM_AztecOO_KrylovSolve(benchmark::State& state) {
+  for (auto _ : state) {
+    pc::run(kRanks, [](pc::Communicator& comm) {
+      auto a = gl::laplace1d(gl::Map::uniform(comm, kN));
+      auto b = gl::rhs_for_ones(a);
+      gl::Vector x(a.domain_map(), 0.0);
+      auto res = pyhpc::solvers::cg_solve(a, b, x);
+      benchmark::DoNotOptimize(res.iterations);
+    });
+  }
+}
+BENCHMARK(BM_AztecOO_KrylovSolve);
+
+void BM_Galeri_MatrixGallery(benchmark::State& state) {
+  for (auto _ : state) {
+    pc::run(kRanks, [](pc::Communicator& comm) {
+      auto a = gl::laplace2d(comm, 24, 24);
+      auto c = gl::convection_diffusion_2d(comm, 12, 12, 2.0, 2.0);
+      auto r = gl::random_diag_dominant(gl::Map::uniform(comm, 128), 4, 7);
+      benchmark::DoNotOptimize(a.num_global_entries() +
+                               c.num_global_entries() +
+                               r.num_global_entries());
+    });
+  }
+}
+BENCHMARK(BM_Galeri_MatrixGallery);
+
+void BM_Amesos_DirectSolve(benchmark::State& state) {
+  for (auto _ : state) {
+    pc::run(kRanks, [](pc::Communicator& comm) {
+      auto a = gl::tridiag(gl::Map::uniform(comm, kN), -1.0, 4.0, -1.0);
+      auto b = gl::rhs_for_ones(a);
+      gl::Vector x(a.domain_map());
+      pyhpc::solvers::create_direct_solver("klu", a)->solve(b, x);
+      benchmark::DoNotOptimize(x.norm2());
+    });
+  }
+}
+BENCHMARK(BM_Amesos_DirectSolve);
+
+void BM_Ifpack_Ilu0Apply(benchmark::State& state) {
+  for (auto _ : state) {
+    pc::run(kRanks, [](pc::Communicator& comm) {
+      auto a = gl::laplace2d(comm, 20, 20);
+      pyhpc::precond::Ilu0Preconditioner ilu(a);
+      gl::Vector r(a.range_map()), z(a.domain_map());
+      r.randomize(3);
+      ilu.apply(r, z);
+      benchmark::DoNotOptimize(z.norm2());
+    });
+  }
+}
+BENCHMARK(BM_Ifpack_Ilu0Apply);
+
+void BM_Komplex_ComplexSolve(benchmark::State& state) {
+  for (auto _ : state) {
+    pc::run(kRanks, [](pc::Communicator& comm) {
+      auto map = gl::Map::uniform(comm, 64);
+      pyhpc::komplex::ComplexMatrix a(gl::laplace1d(map), gl::identity(map));
+      pyhpc::komplex::ComplexVector b(map), x(map);
+      for (std::int32_t i = 0; i < b.local_size(); ++i) b.set(i, {1.0, -1.0});
+      auto res = a.solve(b, x);
+      benchmark::DoNotOptimize(res.iterations);
+    });
+  }
+}
+BENCHMARK(BM_Komplex_ComplexSolve);
+
+void BM_Anasazi_Lanczos(benchmark::State& state) {
+  for (auto _ : state) {
+    pc::run(kRanks, [](pc::Communicator& comm) {
+      auto a = gl::laplace1d(gl::Map::uniform(comm, 128));
+      auto res = pyhpc::solvers::lanczos(a, 3);
+      benchmark::DoNotOptimize(res.eigenvalues.data());
+    });
+  }
+}
+BENCHMARK(BM_Anasazi_Lanczos);
+
+void BM_ML_AmgSetupAndApply(benchmark::State& state) {
+  for (auto _ : state) {
+    pc::run(kRanks, [](pc::Communicator& comm) {
+      auto a = gl::laplace2d(comm, 24, 24);
+      pyhpc::precond::AmgPreconditioner amg(a);
+      gl::Vector r(a.range_map()), z(a.domain_map());
+      r.randomize(5);
+      amg.apply(r, z);
+      benchmark::DoNotOptimize(z.norm2());
+    });
+  }
+}
+BENCHMARK(BM_ML_AmgSetupAndApply);
+
+void BM_NOX_NewtonSolve(benchmark::State& state) {
+  for (auto _ : state) {
+    pc::run(kRanks, [](pc::Communicator& comm) {
+      auto map = gl::Map::uniform(comm, 64);
+      gl::Vector x(map, 2.0);
+      auto res = pyhpc::solvers::newton_solve(
+          [](const gl::Vector& u, gl::Vector& f) {
+            for (std::int32_t i = 0; i < u.local_size(); ++i) {
+              f[i] = u[i] * u[i] * u[i] + 2.0 * u[i] - 3.0;
+            }
+          },
+          [](const gl::Vector& u) {
+            gl::Matrix j(u.map());
+            for (std::int32_t i = 0; i < u.local_size(); ++i) {
+              const std::int64_t g = u.map().local_to_global(i);
+              j.insert_global_value(g, g, 3.0 * u[i] * u[i] + 2.0);
+            }
+            j.fill_complete();
+            return j;
+          },
+          x);
+      benchmark::DoNotOptimize(res.iterations);
+    });
+  }
+}
+BENCHMARK(BM_NOX_NewtonSolve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace pyhpc::comm {
+
+namespace {
+struct SplitEntry {
+  int color;
+  int key;
+  int parent_rank;
+};
+}  // namespace
+
+Communicator Communicator::split(int color, int key) {
+  // Collectively learn everyone's (colour, key); every rank derives the
+  // same group layout, so only one rank per colour needs to allocate the
+  // child context and publish it through the parent context's registry.
+  const std::uint64_t split_seq = seq_;  // unique per program-order call site
+  SplitEntry mine{color, key, rank_};
+  auto entries = allgather_value(mine);
+
+  std::vector<SplitEntry> group;
+  for (const auto& e : entries) {
+    if (e.color == color) group.push_back(e);
+  }
+  std::sort(group.begin(), group.end(), [](const SplitEntry& a,
+                                           const SplitEntry& b) {
+    return std::tie(a.key, a.parent_rank) < std::tie(b.key, b.parent_rank);
+  });
+
+  int my_new_rank = -1;
+  int creator_parent_rank = group.front().parent_rank;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    creator_parent_rank = std::min(creator_parent_rank, group[i].parent_rank);
+    if (group[i].parent_rank == rank_) my_new_rank = static_cast<int>(i);
+  }
+  require<CommError>(my_new_rank >= 0, "split: rank missing from own group");
+
+  std::shared_ptr<Context> child;
+  if (rank_ == creator_parent_rank) {
+    child = std::make_shared<Context>(static_cast<int>(group.size()));
+    ctx_->publish_child(split_seq, color, child);
+  } else {
+    child = ctx_->wait_child(split_seq, color);
+  }
+  return Communicator(std::move(child), my_new_rank);
+}
+
+}  // namespace pyhpc::comm

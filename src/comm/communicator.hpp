@@ -1,0 +1,678 @@
+// Communicator: the per-rank handle to a message-passing world.
+//
+// Semantics follow MPI (see the LLNL MPI model this substrate reproduces):
+//  - two-sided, tag + source matched point-to-point messages;
+//  - non-overtaking delivery for a fixed (source, dest) pair;
+//  - collectives must be entered by every rank of the communicator in the
+//    same program order (they are sequenced with an internal tag space);
+//  - sends are always eager/buffered, so a send never deadlocks.
+//
+// All typed operations require trivially-copyable element types; richer
+// payloads (strings, record batches) use the byte/string interfaces or the
+// serialization helpers in odin/seamless.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/context.hpp"
+#include "comm/message.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace pyhpc::comm {
+
+class Communicator;
+
+/// Handle to a posted non-blocking receive. Because sends are eager, isend
+/// completes immediately and needs no handle; PendingRecv is the one
+/// genuinely asynchronous operation.
+class PendingRecv {
+ public:
+  PendingRecv(Communicator* comm, int source, int tag)
+      : comm_(comm), source_(source), tag_(tag) {}
+
+  /// Non-blocking: true once the matching message has arrived (and has been
+  /// captured into this handle).
+  bool ready();
+
+  /// Blocks until the message arrives and returns it. May be called once.
+  Envelope wait();
+
+  /// Decodes a waited envelope into typed elements.
+  template <class T>
+  static std::vector<T> decode(const Envelope& env) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require<CommError>(env.payload.size() % sizeof(T) == 0,
+                       "PendingRecv::decode: payload size not a multiple of "
+                       "element size");
+    std::vector<T> out(env.payload.size() / sizeof(T));
+    std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    return out;
+  }
+
+ private:
+  Communicator* comm_;
+  int source_;
+  int tag_;
+  std::optional<Envelope> captured_;
+  bool consumed_ = false;
+};
+
+class Communicator {
+ public:
+  Communicator(std::shared_ptr<Context> ctx, int rank)
+      : ctx_(std::move(ctx)), rank_(rank) {
+    require<CommError>(rank_ >= 0 && rank_ < ctx_->size(),
+                       "Communicator: rank out of range");
+  }
+
+  int rank() const { return rank_; }
+  int size() const { return ctx_->size(); }
+
+  CommStats& stats() { return ctx_->stats(rank_); }
+  const CommStats& stats() const { return ctx_->stats(rank_); }
+
+  /// Sums every rank's counters (call after the parallel region ends, or
+  /// from a barrier-synchronized point).
+  CommStats aggregate_stats() const {
+    CommStats total;
+    for (int r = 0; r < size(); ++r) total += ctx_->stats(r);
+    return total;
+  }
+
+  // ---- point-to-point: bytes ------------------------------------------
+
+  void send_bytes(std::span<const std::byte> data, int dest, int tag) {
+    check_user_tag(tag);
+    send_bytes_internal(data, dest, tag, /*internal=*/false);
+  }
+
+  /// Blocking receive into a freshly sized vector.
+  Status recv_bytes(std::vector<std::byte>& out, int source = kAnySource,
+                    int tag = kAnyTag) {
+    Envelope env = pop(source, tag);
+    Status st{env.source, env.tag, env.payload.size()};
+    out = std::move(env.payload);
+    auto& s = stats();
+    ++s.p2p_messages_received;
+    s.p2p_bytes_received += st.bytes;
+    return st;
+  }
+
+  /// Blocking probe: metadata of the next matching message.
+  Status probe(int source = kAnySource, int tag = kAnyTag) {
+    return ctx_->mailbox(rank_).probe(source, tag, ctx_->abort_flag());
+  }
+
+  /// Non-blocking probe.
+  std::optional<Status> iprobe(int source = kAnySource, int tag = kAnyTag) {
+    return ctx_->mailbox(rank_).try_probe(source, tag);
+  }
+
+  // ---- point-to-point: typed ------------------------------------------
+
+  template <class T>
+  void send(std::span<const T> data, int dest, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(std::as_bytes(data), dest, tag);
+  }
+
+  template <class T>
+  void send_value(const T& value, int dest, int tag) {
+    send(std::span<const T>(&value, 1), dest, tag);
+  }
+
+  /// Strict receive: the incoming message must contain exactly buf.size()
+  /// elements; a mismatch is a CommError (catches size bugs early — the
+  /// failure-injection tests rely on this).
+  template <class T>
+  Status recv(std::span<T> buf, int source = kAnySource, int tag = kAnyTag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Envelope env = pop(source, tag);
+    auto& s = stats();
+    ++s.p2p_messages_received;
+    s.p2p_bytes_received += env.payload.size();
+    require<CommError>(
+        env.payload.size() == buf.size_bytes(),
+        util::cat("recv: message of ", env.payload.size(),
+                  " bytes does not match buffer of ", buf.size_bytes(),
+                  " bytes (source ", env.source, ", tag ", env.tag, ")"));
+    std::memcpy(buf.data(), env.payload.data(), env.payload.size());
+    return Status{env.source, env.tag, env.payload.size()};
+  }
+
+  /// Variable-size receive.
+  template <class T>
+  std::vector<T> recv_vector(int source = kAnySource, int tag = kAnyTag,
+                             Status* status_out = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Envelope env = pop(source, tag);
+    auto& s = stats();
+    ++s.p2p_messages_received;
+    s.p2p_bytes_received += env.payload.size();
+    if (status_out != nullptr) {
+      *status_out = Status{env.source, env.tag, env.payload.size()};
+    }
+    return PendingRecv::decode<T>(env);
+  }
+
+  template <class T>
+  T recv_value(int source = kAnySource, int tag = kAnyTag) {
+    T value{};
+    recv(std::span<T>(&value, 1), source, tag);
+    return value;
+  }
+
+  void send_string(const std::string& text, int dest, int tag) {
+    send_bytes(std::as_bytes(std::span<const char>(text.data(), text.size())),
+               dest, tag);
+  }
+
+  std::string recv_string(int source = kAnySource, int tag = kAnyTag) {
+    std::vector<std::byte> raw;
+    recv_bytes(raw, source, tag);
+    return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+  }
+
+  // ---- non-blocking -----------------------------------------------------
+
+  /// Eager send: the payload is copied out immediately, so there is nothing
+  /// to wait for; provided for symmetry with MPI-style code.
+  template <class T>
+  void isend(std::span<const T> data, int dest, int tag) {
+    send(data, dest, tag);
+  }
+
+  /// Posts a receive; completion is observed through the returned handle.
+  PendingRecv irecv(int source = kAnySource, int tag = kAnyTag) {
+    check_user_tag_or_any(tag);
+    return PendingRecv(this, source, tag);
+  }
+
+  // ---- collectives ------------------------------------------------------
+  // Every collective must be entered by all ranks in the same order.
+  // Reduction functors must be associative and commutative.
+
+  void barrier() {
+    const std::uint64_t seq = next_seq();
+    const int p = size();
+    for (int k = 1; k < p; k <<= 1) {
+      const int phase = phase_of(k);
+      coll_send(std::span<const std::byte>{}, (rank_ + k) % p,
+                coll_tag(seq, phase));
+      coll_recv_any_size((rank_ - k % p + p) % p, coll_tag(seq, phase));
+    }
+  }
+
+  /// Binomial-tree broadcast of a fixed-size buffer.
+  template <class T>
+  void broadcast(std::span<T> data, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_root(root);
+    const std::uint64_t seq = next_seq();
+    const int p = size();
+    const int vrank = (rank_ - root + p) % p;
+    int mask = 1;
+    while (mask < p) {
+      if (vrank & mask) {
+        const int src = (vrank - mask + root) % p;
+        coll_recv_exact(std::as_writable_bytes(data), src, coll_tag(seq, 0));
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (vrank + mask < p) {
+        const int dst = (vrank + mask + root) % p;
+        coll_send(std::as_bytes(std::span<const T>(data)), dst,
+                  coll_tag(seq, 0));
+      }
+      mask >>= 1;
+    }
+  }
+
+  template <class T>
+  T broadcast_value(T value, int root) {
+    broadcast(std::span<T>(&value, 1), root);
+    return value;
+  }
+
+  /// Broadcast of a variable-length string (length first, then bytes).
+  std::string broadcast_string(const std::string& text, int root) {
+    std::uint64_t len = text.size();
+    len = broadcast_value(len, root);
+    std::string out = (rank_ == root) ? text : std::string(len, '\0');
+    if (len > 0) broadcast(std::span<char>(out.data(), out.size()), root);
+    return out;
+  }
+
+  /// Element-wise binomial-tree reduction to `root`. `out` must be sized
+  /// like `in` on the root; other ranks may pass an empty span.
+  template <class T, class Op>
+  void reduce(std::span<const T> in, std::span<T> out, Op op, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_root(root);
+    const std::uint64_t seq = next_seq();
+    const int p = size();
+    const int vrank = (rank_ - root + p) % p;
+    std::vector<T> partial(in.begin(), in.end());
+    int mask = 1;
+    while (mask < p) {
+      if ((vrank & mask) == 0) {
+        const int vsrc = vrank | mask;
+        if (vsrc < p) {
+          const int src = (vsrc + root) % p;
+          std::vector<T> incoming(in.size());
+          coll_recv_exact(std::as_writable_bytes(std::span<T>(incoming)), src,
+                          coll_tag(seq, phase_of(mask)));
+          for (std::size_t i = 0; i < partial.size(); ++i) {
+            partial[i] = op(partial[i], incoming[i]);
+          }
+        }
+      } else {
+        const int dst = ((vrank & ~mask) + root) % p;
+        coll_send(std::as_bytes(std::span<const T>(partial)), dst,
+                  coll_tag(seq, phase_of(mask)));
+        break;
+      }
+      mask <<= 1;
+    }
+    if (rank_ == root) {
+      require<CommError>(out.size() == in.size(),
+                         "reduce: root output span has wrong size");
+      std::copy(partial.begin(), partial.end(), out.begin());
+    }
+  }
+
+  template <class T, class Op>
+  T reduce_value(T value, Op op, int root) {
+    T out{};
+    reduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), op, root);
+    return out;  // meaningful only on root
+  }
+
+  template <class T, class Op>
+  void allreduce(std::span<const T> in, std::span<T> out, Op op) {
+    require<CommError>(out.size() == in.size(),
+                       "allreduce: output span has wrong size");
+    reduce(in, out, op, 0);
+    broadcast(out, 0);
+  }
+
+  template <class T, class Op>
+  T allreduce_value(T value, Op op) {
+    T out{};
+    allreduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), op);
+    return out;
+  }
+
+  /// Inclusive prefix scan along rank order (chain algorithm).
+  template <class T, class Op>
+  T scan_inclusive(T value, Op op) {
+    const std::uint64_t seq = next_seq();
+    T acc = value;
+    if (rank_ > 0) {
+      T prev{};
+      coll_recv_exact(
+          std::as_writable_bytes(std::span<T>(&prev, 1)), rank_ - 1,
+          coll_tag(seq, 0));
+      acc = op(prev, value);
+    }
+    if (rank_ + 1 < size()) {
+      coll_send(std::as_bytes(std::span<const T>(&acc, 1)), rank_ + 1,
+                coll_tag(seq, 0));
+    }
+    return acc;
+  }
+
+  /// Exclusive prefix scan; rank 0 receives `identity`.
+  template <class T, class Op>
+  T scan_exclusive(T value, Op op, T identity) {
+    const T inc = scan_inclusive(value, op);
+    // Rotate: every rank wants the inclusive scan of the previous rank.
+    const std::uint64_t seq = next_seq();
+    if (rank_ + 1 < size()) {
+      coll_send(std::as_bytes(std::span<const T>(&inc, 1)), rank_ + 1,
+                coll_tag(seq, 0));
+    }
+    T out = identity;
+    if (rank_ > 0) {
+      coll_recv_exact(std::as_writable_bytes(std::span<T>(&out, 1)), rank_ - 1,
+                      coll_tag(seq, 0));
+    }
+    return out;
+  }
+
+  /// Equal-count gather into rank-ordered contiguous output on root.
+  template <class T>
+  void gather(std::span<const T> mine, std::vector<T>& all, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_root(root);
+    const std::uint64_t seq = next_seq();
+    if (rank_ == root) {
+      all.assign(mine.size() * static_cast<std::size_t>(size()), T{});
+      for (int r = 0; r < size(); ++r) {
+        std::span<T> slot(all.data() + mine.size() * static_cast<std::size_t>(r),
+                          mine.size());
+        if (r == rank_) {
+          std::copy(mine.begin(), mine.end(), slot.begin());
+        } else {
+          coll_recv_exact(std::as_writable_bytes(slot), r, coll_tag(seq, 0));
+        }
+      }
+    } else {
+      coll_send(std::as_bytes(mine), root, coll_tag(seq, 0));
+    }
+  }
+
+  /// Variable-count gather; returns per-rank chunks on root (empty vector on
+  /// non-roots).
+  template <class T>
+  std::vector<std::vector<T>> gatherv(std::span<const T> mine, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_root(root);
+    const std::uint64_t seq = next_seq();
+    std::vector<std::vector<T>> chunks;
+    if (rank_ == root) {
+      chunks.resize(static_cast<std::size_t>(size()));
+      for (int r = 0; r < size(); ++r) {
+        if (r == rank_) {
+          chunks[static_cast<std::size_t>(r)].assign(mine.begin(), mine.end());
+        } else {
+          chunks[static_cast<std::size_t>(r)] =
+              coll_recv_variable<T>(r, coll_tag(seq, 0));
+        }
+      }
+    } else {
+      coll_send(std::as_bytes(mine), root, coll_tag(seq, 0));
+    }
+    return chunks;
+  }
+
+  /// Gather + broadcast: every rank gets the rank-ordered concatenation.
+  template <class T>
+  std::vector<T> allgather(std::span<const T> mine) {
+    std::vector<T> all;
+    gather(mine, all, 0);
+    std::uint64_t total = all.size();
+    total = broadcast_value(total, 0);
+    all.resize(total);
+    broadcast(std::span<T>(all), 0);
+    return all;
+  }
+
+  template <class T>
+  std::vector<T> allgather_value(const T& value) {
+    return allgather(std::span<const T>(&value, 1));
+  }
+
+  /// Variable-count allgather; every rank gets all per-rank chunks.
+  template <class T>
+  std::vector<std::vector<T>> allgatherv(std::span<const T> mine) {
+    auto counts = allgather_value<std::uint64_t>(mine.size());
+    std::vector<T> flat = allgather_concat(mine, counts);
+    std::vector<std::vector<T>> chunks(counts.size());
+    std::size_t off = 0;
+    for (std::size_t r = 0; r < counts.size(); ++r) {
+      chunks[r].assign(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                       flat.begin() + static_cast<std::ptrdiff_t>(off + counts[r]));
+      off += counts[r];
+    }
+    return chunks;
+  }
+
+  /// Equal-count scatter from root's rank-ordered buffer.
+  template <class T>
+  void scatter(std::span<const T> all, std::span<T> mine, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_root(root);
+    const std::uint64_t seq = next_seq();
+    if (rank_ == root) {
+      require<CommError>(all.size() ==
+                             mine.size() * static_cast<std::size_t>(size()),
+                         "scatter: root buffer size != count * nranks");
+      for (int r = 0; r < size(); ++r) {
+        std::span<const T> slot(
+            all.data() + mine.size() * static_cast<std::size_t>(r),
+            mine.size());
+        if (r == rank_) {
+          std::copy(slot.begin(), slot.end(), mine.begin());
+        } else {
+          coll_send(std::as_bytes(slot), r, coll_tag(seq, 0));
+        }
+      }
+    } else {
+      coll_recv_exact(std::as_writable_bytes(mine), root, coll_tag(seq, 0));
+    }
+  }
+
+  /// Variable-count scatter; `parts` is consulted only on root.
+  template <class T>
+  std::vector<T> scatterv(const std::vector<std::vector<T>>& parts, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_root(root);
+    const std::uint64_t seq = next_seq();
+    if (rank_ == root) {
+      require<CommError>(parts.size() == static_cast<std::size_t>(size()),
+                         "scatterv: need one part per rank on root");
+      for (int r = 0; r < size(); ++r) {
+        if (r == rank_) continue;
+        coll_send(std::as_bytes(std::span<const T>(parts[static_cast<std::size_t>(r)])),
+                  r, coll_tag(seq, 0));
+      }
+      return parts[static_cast<std::size_t>(rank_)];
+    }
+    return coll_recv_variable<T>(root, coll_tag(seq, 0));
+  }
+
+  /// Equal-count personalized all-to-all: sendbuf holds `count` elements per
+  /// destination rank in rank order; recvbuf likewise per source.
+  template <class T>
+  void alltoall(std::span<const T> sendbuf, std::span<T> recvbuf) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = size();
+    require<CommError>(sendbuf.size() == recvbuf.size() &&
+                           sendbuf.size() % static_cast<std::size_t>(p) == 0,
+                       "alltoall: buffer sizes must be equal multiples of "
+                       "the rank count");
+    const std::size_t count = sendbuf.size() / static_cast<std::size_t>(p);
+    const std::uint64_t seq = next_seq();
+    for (int r = 0; r < p; ++r) {
+      std::span<const T> slot(sendbuf.data() + count * static_cast<std::size_t>(r),
+                              count);
+      if (r == rank_) {
+        std::copy(slot.begin(), slot.end(),
+                  recvbuf.begin() + static_cast<std::ptrdiff_t>(
+                                        count * static_cast<std::size_t>(r)));
+      } else {
+        coll_send(std::as_bytes(slot), r, coll_tag(seq, 0));
+      }
+    }
+    for (int r = 0; r < p; ++r) {
+      if (r == rank_) continue;
+      std::span<T> slot(recvbuf.data() + count * static_cast<std::size_t>(r),
+                        count);
+      coll_recv_exact(std::as_writable_bytes(slot), r, coll_tag(seq, 0));
+    }
+  }
+
+  /// Variable-count personalized all-to-all — the shuffle primitive under
+  /// ODIN's map-reduce and redistribution. sendparts[r] goes to rank r; the
+  /// return value's element [r] came from rank r.
+  template <class T>
+  std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& sendparts) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = size();
+    require<CommError>(sendparts.size() == static_cast<std::size_t>(p),
+                       "alltoallv: need one part per destination rank");
+    const std::uint64_t seq = next_seq();
+    for (int r = 0; r < p; ++r) {
+      if (r == rank_) continue;
+      coll_send(std::as_bytes(std::span<const T>(sendparts[static_cast<std::size_t>(r)])),
+                r, coll_tag(seq, 0));
+    }
+    std::vector<std::vector<T>> recvparts(static_cast<std::size_t>(p));
+    recvparts[static_cast<std::size_t>(rank_)] =
+        sendparts[static_cast<std::size_t>(rank_)];
+    for (int r = 0; r < p; ++r) {
+      if (r == rank_) continue;
+      recvparts[static_cast<std::size_t>(r)] =
+          coll_recv_variable<T>(r, coll_tag(seq, 0));
+    }
+    return recvparts;
+  }
+
+  /// Splits the communicator by colour; ranks sharing a colour form a child
+  /// communicator ordered by (key, parent rank). MPI_Comm_split analogue.
+  Communicator split(int color, int key);
+
+  /// Duplicates the communicator (independent collective sequencing).
+  Communicator duplicate() { return split(0, rank_); }
+
+ private:
+  friend class PendingRecv;
+
+  void check_user_tag(int tag) const {
+    require<CommError>(tag >= 0 && tag < kMaxUserTag,
+                       util::cat("tag ", tag, " outside user range [0, ",
+                                 kMaxUserTag, ")"));
+  }
+  void check_user_tag_or_any(int tag) const {
+    if (tag != kAnyTag) check_user_tag(tag);
+  }
+  void check_root(int root) const {
+    require<CommError>(root >= 0 && root < size(),
+                       "collective root out of range");
+  }
+
+  Envelope pop(int source, int tag) {
+    return ctx_->mailbox(rank_).pop_matching(source, tag, ctx_->abort_flag());
+  }
+
+  void send_bytes_internal(std::span<const std::byte> data, int dest, int tag,
+                           bool internal) {
+    require<CommError>(dest >= 0 && dest < size(),
+                       util::cat("send: destination rank ", dest,
+                                 " out of range [0, ", size(), ")"));
+    Envelope env;
+    env.source = rank_;
+    env.tag = tag;
+    env.payload.assign(data.begin(), data.end());
+    auto& s = stats();
+    if (internal) {
+      ++s.coll_messages_sent;
+      s.coll_bytes_sent += data.size();
+    } else {
+      ++s.p2p_messages_sent;
+      s.p2p_bytes_sent += data.size();
+    }
+    ctx_->mailbox(dest).push(std::move(env));
+  }
+
+  void coll_send(std::span<const std::byte> data, int dest, int tag) {
+    send_bytes_internal(data, dest, tag, /*internal=*/true);
+  }
+
+  void coll_recv_exact(std::span<std::byte> buf, int source, int tag) {
+    Envelope env = pop(source, tag);
+    auto& s = stats();
+    ++s.coll_messages_received;
+    s.coll_bytes_received += env.payload.size();
+    require<CommError>(env.payload.size() == buf.size(),
+                       "collective recv: unexpected message size");
+    std::memcpy(buf.data(), env.payload.data(), env.payload.size());
+  }
+
+  void coll_recv_any_size(int source, int tag) {
+    Envelope env = pop(source, tag);
+    auto& s = stats();
+    ++s.coll_messages_received;
+    s.coll_bytes_received += env.payload.size();
+  }
+
+  template <class T>
+  std::vector<T> coll_recv_variable(int source, int tag) {
+    Envelope env = pop(source, tag);
+    auto& s = stats();
+    ++s.coll_messages_received;
+    s.coll_bytes_received += env.payload.size();
+    return PendingRecv::decode<T>(env);
+  }
+
+  // Concatenating allgather used by allgatherv once counts are known.
+  template <class T>
+  std::vector<T> allgather_concat(std::span<const T> mine,
+                                  const std::vector<std::uint64_t>& counts) {
+    auto chunks = gatherv(mine, 0);
+    std::vector<T> flat;
+    if (rank_ == 0) {
+      for (const auto& c : chunks) flat.insert(flat.end(), c.begin(), c.end());
+    } else {
+      std::uint64_t total = 0;
+      for (auto c : counts) total += c;
+      flat.resize(total);
+    }
+    broadcast(std::span<T>(flat), 0);
+    return flat;
+  }
+
+  std::uint64_t next_seq() {
+    ++stats().collectives;
+    return seq_++;
+  }
+
+  static int phase_of(int mask) {
+    int phase = 0;
+    while (mask > 1) {
+      mask >>= 1;
+      ++phase;
+    }
+    return phase;
+  }
+
+  int coll_tag(std::uint64_t seq, int phase) const {
+    // 32 phases per collective instance; sequence wraps far beyond any
+    // realistic in-flight window.
+    constexpr std::uint64_t kSlots =
+        (static_cast<std::uint64_t>(1) << 30) / 32;
+    return kMaxUserTag +
+           static_cast<int>((seq % kSlots) * 32 + static_cast<std::uint64_t>(phase));
+  }
+
+  std::shared_ptr<Context> ctx_;
+  int rank_;
+  std::uint64_t seq_ = 0;
+};
+
+inline bool PendingRecv::ready() {
+  if (captured_.has_value()) return true;
+  auto env = comm_->ctx_->mailbox(comm_->rank_).try_pop_matching(source_, tag_);
+  if (!env.has_value()) return false;
+  captured_ = std::move(*env);
+  return true;
+}
+
+inline Envelope PendingRecv::wait() {
+  require<CommError>(!consumed_, "PendingRecv::wait: already consumed");
+  consumed_ = true;
+  auto& s = comm_->stats();
+  if (captured_.has_value()) {
+    ++s.p2p_messages_received;
+    s.p2p_bytes_received += captured_->payload.size();
+    return std::move(*captured_);
+  }
+  Envelope env = comm_->pop(source_, tag_);
+  ++s.p2p_messages_received;
+  s.p2p_bytes_received += env.payload.size();
+  return env;
+}
+
+}  // namespace pyhpc::comm

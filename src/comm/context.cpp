@@ -1,0 +1,60 @@
+#include "comm/context.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace pyhpc::comm {
+
+Context::Context(int nranks) {
+  require(nranks >= 1, "Context: need at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  stats_.resize(static_cast<std::size_t>(nranks));
+}
+
+Mailbox& Context::mailbox(int rank) {
+  require<CommError>(rank >= 0 && rank < size(),
+                     util::cat("Context::mailbox: rank ", rank,
+                               " out of range [0, ", size(), ")"));
+  return *mailboxes_[static_cast<std::size_t>(rank)];
+}
+
+CommStats& Context::stats(int rank) {
+  require<CommError>(rank >= 0 && rank < size(),
+                     "Context::stats: rank out of range");
+  return stats_[static_cast<std::size_t>(rank)];
+}
+
+void Context::abort() {
+  aborted_.store(true, std::memory_order_relaxed);
+  for (auto& mb : mailboxes_) mb->interrupt();
+  children_cv_.notify_all();
+}
+
+void Context::publish_child(std::uint64_t seq, int color,
+                            std::shared_ptr<Context> child) {
+  {
+    std::lock_guard<std::mutex> lock(children_mu_);
+    children_[{seq, color}] = std::move(child);
+  }
+  children_cv_.notify_all();
+}
+
+std::shared_ptr<Context> Context::wait_child(std::uint64_t seq, int color) {
+  std::unique_lock<std::mutex> lock(children_mu_);
+  const auto key = std::make_pair(seq, color);
+  for (;;) {
+    auto it = children_.find(key);
+    if (it != children_.end()) return it->second;
+    if (aborted_.load(std::memory_order_relaxed)) {
+      throw CommError("split aborted: another rank failed");
+    }
+    children_cv_.wait_for(lock, std::chrono::milliseconds(25));
+  }
+}
+
+}  // namespace pyhpc::comm

@@ -1,0 +1,54 @@
+// Shared state for one communicator "world": the mailboxes of every rank,
+// the abort flag, per-rank stats, and a registry used to hand sub-contexts
+// from the creating rank to the other members during split().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+#include "comm/stats.hpp"
+
+namespace pyhpc::comm {
+
+class Context {
+ public:
+  explicit Context(int nranks);
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+
+  Mailbox& mailbox(int rank);
+
+  CommStats& stats(int rank);
+
+  /// Set by the runner when any rank throws; blocking waits observe it.
+  std::atomic<bool>& abort_flag() { return aborted_; }
+  const std::atomic<bool>& abort_flag() const { return aborted_; }
+
+  /// Marks the context aborted and wakes every blocked receiver.
+  void abort();
+
+  /// split() support: the lowest-ranked member of each colour group creates
+  /// the child context and publishes it under (sequence, colour); the other
+  /// members block until it appears. The key is unique because collectives
+  /// execute in program order on every rank.
+  void publish_child(std::uint64_t seq, int color,
+                     std::shared_ptr<Context> child);
+  std::shared_ptr<Context> wait_child(std::uint64_t seq, int color);
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<CommStats> stats_;
+  std::atomic<bool> aborted_{false};
+
+  std::mutex children_mu_;
+  std::condition_variable children_cv_;
+  std::map<std::pair<std::uint64_t, int>, std::shared_ptr<Context>> children_;
+};
+
+}  // namespace pyhpc::comm

@@ -1,0 +1,84 @@
+#include "comm/mailbox.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace pyhpc::comm {
+
+namespace {
+// Poll period for blocking waits; short enough that aborts surface quickly,
+// long enough to avoid spinning.
+constexpr auto kPollPeriod = std::chrono::milliseconds(25);
+}  // namespace
+
+void Mailbox::push(Envelope env) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(env));
+  }
+  cv_.notify_all();
+}
+
+std::deque<Envelope>::iterator Mailbox::find_locked(int source, int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (matches(*it, source, tag)) return it;
+  }
+  return queue_.end();
+}
+
+Envelope Mailbox::pop_matching(int source, int tag,
+                               const std::atomic<bool>& aborted) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = find_locked(source, tag);
+    if (it != queue_.end()) {
+      Envelope env = std::move(*it);
+      queue_.erase(it);
+      return env;
+    }
+    if (aborted.load(std::memory_order_relaxed)) {
+      throw CommError("recv aborted: another rank failed");
+    }
+    cv_.wait_for(lock, kPollPeriod);
+  }
+}
+
+std::optional<Envelope> Mailbox::try_pop_matching(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = find_locked(source, tag);
+  if (it == queue_.end()) return std::nullopt;
+  Envelope env = std::move(*it);
+  queue_.erase(it);
+  return env;
+}
+
+Status Mailbox::probe(int source, int tag, const std::atomic<bool>& aborted) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = find_locked(source, tag);
+    if (it != queue_.end()) {
+      return Status{it->source, it->tag, it->payload.size()};
+    }
+    if (aborted.load(std::memory_order_relaxed)) {
+      throw CommError("probe aborted: another rank failed");
+    }
+    cv_.wait_for(lock, kPollPeriod);
+  }
+}
+
+std::optional<Status> Mailbox::try_probe(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = find_locked(source, tag);
+  if (it == queue_.end()) return std::nullopt;
+  return Status{it->source, it->tag, it->payload.size()};
+}
+
+void Mailbox::interrupt() { cv_.notify_all(); }
+
+std::size_t Mailbox::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace pyhpc::comm

@@ -1,0 +1,62 @@
+// Per-rank inbound message queue with MPI-style matching.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "comm/message.hpp"
+
+namespace pyhpc::comm {
+
+/// FIFO queue of envelopes addressed to one rank. Matching scans in arrival
+/// order, which yields MPI's non-overtaking guarantee for any fixed
+/// (source, tag) pair. Blocking pops poll an abort flag so that one rank
+/// failing cannot wedge the others forever.
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Enqueues a message and wakes any waiting receiver.
+  void push(Envelope env);
+
+  /// Blocks until a message matching (source, tag) is available, then
+  /// removes and returns it. `source`/`tag` may be kAnySource/kAnyTag.
+  /// Throws CommError when `aborted` becomes true while waiting.
+  Envelope pop_matching(int source, int tag, const std::atomic<bool>& aborted);
+
+  /// Non-blocking variant: returns nullopt when no match is queued.
+  std::optional<Envelope> try_pop_matching(int source, int tag);
+
+  /// Blocks until a match is available and returns its metadata without
+  /// dequeuing (MPI_Probe analogue).
+  Status probe(int source, int tag, const std::atomic<bool>& aborted);
+
+  /// Non-blocking probe.
+  std::optional<Status> try_probe(int source, int tag);
+
+  /// Wakes all waiters (used during abort).
+  void interrupt();
+
+  /// Number of queued messages (for tests/instrumentation).
+  std::size_t queued() const;
+
+ private:
+  static bool matches(const Envelope& env, int source, int tag) {
+    return (source == kAnySource || env.source == source) &&
+           (tag == kAnyTag || env.tag == tag);
+  }
+
+  // Finds the first queued match; caller must hold mu_.
+  std::deque<Envelope>::iterator find_locked(int source, int tag);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+};
+
+}  // namespace pyhpc::comm

@@ -1,0 +1,40 @@
+// Wire-level message types for the pyhpc in-process message-passing
+// substrate. The substrate reproduces MPI's two-sided semantics (tag and
+// source matching, non-overtaking delivery per (source, dest) pair) with
+// ranks running as threads in one process; see DESIGN.md §2 for why this
+// substitution preserves the behaviour the paper depends on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pyhpc::comm {
+
+/// Matches any source rank in recv/probe.
+inline constexpr int kAnySource = -1;
+/// Matches any tag in recv/probe.
+inline constexpr int kAnyTag = -1;
+
+/// User tags live in [0, kMaxUserTag); larger values are reserved for
+/// internal collective traffic.
+inline constexpr int kMaxUserTag = 1 << 28;
+
+/// Delivery metadata returned by recv/probe (MPI_Status analogue).
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// One in-flight message. Sends are always eager/buffered: the payload is
+/// copied into the envelope at send time, so a send never blocks on the
+/// receiver (mirrors MPI's eager protocol for small messages and removes
+/// send-side deadlock by construction).
+struct Envelope {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace pyhpc::comm

@@ -1,0 +1,68 @@
+#include "comm/runner.hpp"
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "comm/context.hpp"
+#include "util/error.hpp"
+
+namespace pyhpc::comm {
+
+namespace {
+
+CommStats run_impl(int nranks, const std::function<void(Communicator&)>& fn) {
+  require(nranks >= 1, "comm::run: need at least one rank");
+
+  auto ctx = std::make_shared<Context>(nranks);
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  int first_error_rank = -1;
+
+  auto body = [&](int rank) {
+    try {
+      Communicator comm(ctx, rank);
+      fn(comm);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        // Prefer the lowest-ranked *root cause*: aborted-wait CommErrors are
+        // secondary failures, so only record one if nothing else arrived.
+        if (!first_error || first_error_rank > rank) {
+          if (!ctx->abort_flag().load() || !first_error) {
+            first_error = std::current_exception();
+            first_error_rank = rank;
+          }
+        }
+      }
+      ctx->abort();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 1; r < nranks; ++r) threads.emplace_back(body, r);
+  body(0);  // rank 0 runs on the calling thread
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  CommStats total;
+  for (int r = 0; r < nranks; ++r) total += ctx->stats(r);
+  return total;
+}
+
+}  // namespace
+
+void run(int nranks, const std::function<void(Communicator&)>& fn) {
+  (void)run_impl(nranks, fn);
+}
+
+CommStats run_with_stats(int nranks,
+                         const std::function<void(Communicator&)>& fn) {
+  return run_impl(nranks, fn);
+}
+
+}  // namespace pyhpc::comm

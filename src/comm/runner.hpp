@@ -1,0 +1,22 @@
+// In-process SPMD harness: runs the same function on N ranks (threads) over
+// a fresh world communicator — the substitute for `mpirun -np N`.
+#pragma once
+
+#include <functional>
+
+#include "comm/communicator.hpp"
+#include "comm/stats.hpp"
+
+namespace pyhpc::comm {
+
+/// Runs `fn(comm)` on `nranks` threads, each with its own rank of a shared
+/// world. Blocks until every rank returns. If any rank throws, the world is
+/// aborted (blocked ranks unblock with CommError) and the first rank's
+/// exception is rethrown here after all threads join.
+void run(int nranks, const std::function<void(Communicator&)>& fn);
+
+/// As `run`, but returns the world-aggregated communication statistics.
+CommStats run_with_stats(int nranks,
+                         const std::function<void(Communicator&)>& fn);
+
+}  // namespace pyhpc::comm

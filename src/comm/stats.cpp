@@ -1,0 +1,15 @@
+#include "comm/stats.hpp"
+
+#include "util/string_util.hpp"
+
+namespace pyhpc::comm {
+
+std::string CommStats::to_string() const {
+  return util::cat("p2p: ", p2p_messages_sent, " msgs / ", p2p_bytes_sent,
+                   " B sent, ", p2p_messages_received, " msgs / ",
+                   p2p_bytes_received, " B recvd; coll: ", coll_messages_sent,
+                   " msgs / ", coll_bytes_sent, " B sent across ", collectives,
+                   " collectives");
+}
+
+}  // namespace pyhpc::comm

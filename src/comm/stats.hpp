@@ -1,0 +1,55 @@
+// Per-rank communication counters.
+//
+// The paper says the ODIN prototype's emphasis is "instrumentation to help
+// identify performance bottlenecks associated with different communication
+// patterns"; CommStats is that instrumentation. Benches report these
+// counters because they are machine-independent: they capture the *shape*
+// of an algorithm's communication (O(boundary) halo traffic, tens-of-bytes
+// control messages, shuffle volume) regardless of how fast the host is.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pyhpc::comm {
+
+struct CommStats {
+  // User-level point-to-point traffic.
+  std::uint64_t p2p_messages_sent = 0;
+  std::uint64_t p2p_bytes_sent = 0;
+  std::uint64_t p2p_messages_received = 0;
+  std::uint64_t p2p_bytes_received = 0;
+  // Traffic generated inside collectives (tagged internally).
+  std::uint64_t coll_messages_sent = 0;
+  std::uint64_t coll_bytes_sent = 0;
+  std::uint64_t coll_messages_received = 0;
+  std::uint64_t coll_bytes_received = 0;
+  // Number of collective operations entered.
+  std::uint64_t collectives = 0;
+
+  std::uint64_t total_messages_sent() const {
+    return p2p_messages_sent + coll_messages_sent;
+  }
+  std::uint64_t total_bytes_sent() const {
+    return p2p_bytes_sent + coll_bytes_sent;
+  }
+
+  void reset() { *this = CommStats{}; }
+
+  CommStats& operator+=(const CommStats& o) {
+    p2p_messages_sent += o.p2p_messages_sent;
+    p2p_bytes_sent += o.p2p_bytes_sent;
+    p2p_messages_received += o.p2p_messages_received;
+    p2p_bytes_received += o.p2p_bytes_received;
+    coll_messages_sent += o.coll_messages_sent;
+    coll_bytes_sent += o.coll_bytes_sent;
+    coll_messages_received += o.coll_messages_received;
+    coll_bytes_received += o.coll_bytes_received;
+    collectives += o.collectives;
+    return *this;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace pyhpc::comm

@@ -1,0 +1,40 @@
+// EpetraExt analogue (Table I: "extensions to Epetra — I/O, sparse
+// transposes, coloring, etc."): distributed sparse transpose, MatrixMarket
+// I/O, and row/column scaling helpers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tpetra/crs_matrix.hpp"
+#include "tpetra/vector.hpp"
+
+namespace pyhpc::epetraext {
+
+using Matrix = tpetra::CrsMatrix<double>;
+using Vector = tpetra::Vector<double>;
+using Map = tpetra::Map<>;
+
+/// Explicit distributed transpose: entry (i, j, v) moves to the owner of
+/// row j under `a`'s row map. Collective.
+Matrix transpose(const Matrix& a);
+
+/// Writes the matrix in MatrixMarket coordinate format (1-based, one file,
+/// written by rank 0 after a gather). Collective.
+void write_matrix_market(const Matrix& a, const std::string& path);
+
+/// Reads a MatrixMarket coordinate file (rank 0 reads, entries are
+/// broadcast) into a matrix over a uniform row map. Collective.
+Matrix read_matrix_market(comm::Communicator& comm, const std::string& path);
+
+/// Writes a distributed vector as a MatrixMarket array file. Collective.
+void write_vector_market(const Vector& v, const std::string& path);
+
+/// Reads a MatrixMarket array file into a vector over a uniform map.
+Vector read_vector_market(comm::Communicator& comm, const std::string& path);
+
+/// Returns diag(s) * A * diag(t) as a new matrix, where s follows the row
+/// map and t the domain map. Collective.
+Matrix scale_rows_columns(const Matrix& a, const Vector& s, const Vector& t);
+
+}  // namespace pyhpc::epetraext

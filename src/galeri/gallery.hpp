@@ -1,0 +1,169 @@
+// Galeri analogue: generators of the standard example maps and matrices the
+// paper's Table I lists ("Galeri — examples of common maps and matrices").
+// Every generator is collective and returns a fill-complete CrsMatrix over a
+// uniform contiguous row map.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "comm/communicator.hpp"
+#include "tpetra/crs_matrix.hpp"
+#include "tpetra/map.hpp"
+#include "tpetra/vector.hpp"
+#include "util/random.hpp"
+
+namespace pyhpc::galeri {
+
+using Map = tpetra::Map<>;
+using Matrix = tpetra::CrsMatrix<double>;
+using Vector = tpetra::Vector<double>;
+using GO = std::int64_t;
+using LO = std::int32_t;
+
+/// Identity matrix on `map`.
+inline Matrix identity(const Map& map) {
+  Matrix a(map);
+  for (LO i = 0; i < map.num_local(); ++i) {
+    const GO g = map.local_to_global(i);
+    a.insert_global_value(g, g, 1.0);
+  }
+  a.fill_complete();
+  return a;
+}
+
+/// General tridiagonal matrix with constant bands (sub, diag, super).
+inline Matrix tridiag(const Map& map, double sub, double diag, double super) {
+  Matrix a(map);
+  const GO n = map.num_global();
+  for (LO i = 0; i < map.num_local(); ++i) {
+    const GO g = map.local_to_global(i);
+    if (g > 0) a.insert_global_value(g, g - 1, sub);
+    a.insert_global_value(g, g, diag);
+    if (g + 1 < n) a.insert_global_value(g, g + 1, super);
+  }
+  a.fill_complete();
+  return a;
+}
+
+/// 1D Dirichlet Laplacian, stencil [-1, 2, -1].
+inline Matrix laplace1d(const Map& map) { return tridiag(map, -1.0, 2.0, -1.0); }
+
+/// 2D Dirichlet Laplacian on an nx-by-ny grid (5-point stencil, row-major
+/// numbering g = j*nx + i). Returns the matrix; the row map is uniform over
+/// nx*ny.
+inline Matrix laplace2d(comm::Communicator& comm, GO nx, GO ny) {
+  require(nx >= 1 && ny >= 1, "laplace2d: grid dimensions must be positive");
+  auto map = Map::uniform(comm, nx * ny);
+  Matrix a(map);
+  for (LO l = 0; l < map.num_local(); ++l) {
+    const GO g = map.local_to_global(l);
+    const GO i = g % nx;
+    const GO j = g / nx;
+    a.insert_global_value(g, g, 4.0);
+    if (i > 0) a.insert_global_value(g, g - 1, -1.0);
+    if (i + 1 < nx) a.insert_global_value(g, g + 1, -1.0);
+    if (j > 0) a.insert_global_value(g, g - nx, -1.0);
+    if (j + 1 < ny) a.insert_global_value(g, g + nx, -1.0);
+  }
+  a.fill_complete();
+  return a;
+}
+
+/// 3D Dirichlet Laplacian on nx*ny*nz (7-point stencil).
+inline Matrix laplace3d(comm::Communicator& comm, GO nx, GO ny, GO nz) {
+  require(nx >= 1 && ny >= 1 && nz >= 1,
+          "laplace3d: grid dimensions must be positive");
+  auto map = Map::uniform(comm, nx * ny * nz);
+  Matrix a(map);
+  for (LO l = 0; l < map.num_local(); ++l) {
+    const GO g = map.local_to_global(l);
+    const GO i = g % nx;
+    const GO j = (g / nx) % ny;
+    const GO k = g / (nx * ny);
+    a.insert_global_value(g, g, 6.0);
+    if (i > 0) a.insert_global_value(g, g - 1, -1.0);
+    if (i + 1 < nx) a.insert_global_value(g, g + 1, -1.0);
+    if (j > 0) a.insert_global_value(g, g - nx, -1.0);
+    if (j + 1 < ny) a.insert_global_value(g, g + nx, -1.0);
+    if (k > 0) a.insert_global_value(g, g - nx * ny, -1.0);
+    if (k + 1 < nz) a.insert_global_value(g, g + nx * ny, -1.0);
+  }
+  a.fill_complete();
+  return a;
+}
+
+/// 2D convection-diffusion (upwind convection), nonsymmetric — exercises
+/// GMRES/BiCGStab. `conv` scales the convection term relative to diffusion.
+inline Matrix convection_diffusion_2d(comm::Communicator& comm, GO nx, GO ny,
+                                      double conv_x, double conv_y) {
+  auto map = Map::uniform(comm, nx * ny);
+  Matrix a(map);
+  const double h = 1.0 / static_cast<double>(nx + 1);
+  for (LO l = 0; l < map.num_local(); ++l) {
+    const GO g = map.local_to_global(l);
+    const GO i = g % nx;
+    const GO j = g / nx;
+    // Diffusion 5-point + first-order upwind convection.
+    double diag = 4.0 + h * (std::abs(conv_x) + std::abs(conv_y));
+    a.insert_global_value(g, g, diag);
+    const double wx = conv_x > 0 ? -1.0 - h * conv_x : -1.0;
+    const double ex = conv_x > 0 ? -1.0 : -1.0 + h * conv_x;
+    const double sy = conv_y > 0 ? -1.0 - h * conv_y : -1.0;
+    const double ny_ = conv_y > 0 ? -1.0 : -1.0 + h * conv_y;
+    if (i > 0) a.insert_global_value(g, g - 1, wx);
+    if (i + 1 < nx) a.insert_global_value(g, g + 1, ex);
+    if (j > 0) a.insert_global_value(g, g - nx, sy);
+    if (j + 1 < ny) a.insert_global_value(g, g + nx, ny_);
+  }
+  a.fill_complete();
+  return a;
+}
+
+/// Random sparse strictly diagonally dominant SPD-ish matrix: symmetric
+/// off-diagonal pattern with negative entries, diagonal = 1 + sum |offdiag|.
+/// Deterministic in (seed); `extra_per_row` off-diagonals are attempted per
+/// row.
+inline Matrix random_diag_dominant(const Map& map, int extra_per_row,
+                                   std::uint64_t seed) {
+  Matrix a(map);
+  const GO n = map.num_global();
+  for (LO l = 0; l < map.num_local(); ++l) {
+    const GO g = map.local_to_global(l);
+    // Per-row deterministic stream so the matrix is independent of the
+    // rank count.
+    util::Xoshiro256 rng(seed, static_cast<std::uint64_t>(g));
+    double offsum = 0.0;
+    for (int k = 0; k < extra_per_row; ++k) {
+      const GO c = rng.next_int(0, n - 1);
+      if (c == g) continue;
+      const double v = -(0.1 + 0.9 * rng.next_double());
+      a.insert_global_value(g, c, v);
+      offsum += std::abs(v);
+    }
+    a.insert_global_value(g, g, 1.0 + offsum + rng.next_double());
+  }
+  a.fill_complete();
+  return a;
+}
+
+/// RHS for which laplace1d/2d has the exact solution x = 1: b = A * ones.
+inline Vector rhs_for_ones(const Matrix& a) {
+  Vector ones(a.domain_map(), 1.0);
+  Vector b(a.range_map());
+  a.apply(ones, b);
+  return b;
+}
+
+/// b_g = sin(pi * (g+1) / (n+1)) — a smooth RHS for Poisson experiments.
+inline Vector sine_rhs(const Map& map) {
+  Vector b(map);
+  const double n = static_cast<double>(map.num_global());
+  for (LO i = 0; i < map.num_local(); ++i) {
+    const double g = static_cast<double>(map.local_to_global(i));
+    b[i] = std::sin(M_PI * (g + 1.0) / (n + 1.0));
+  }
+  return b;
+}
+
+}  // namespace pyhpc::galeri

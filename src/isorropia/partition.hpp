@@ -1,0 +1,48 @@
+// Partitioning and load balancing (Isorropia analogue from Table I).
+//
+// Two partitioners are provided:
+//  - weighted 1D chain partitioning (contiguous blocks balancing a per-row
+//    weight, e.g. nonzeros per row), and
+//  - recursive coordinate bisection (RCB) for point clouds.
+// Both return a new Map; `rebalance` moves vector data onto it.
+#pragma once
+
+#include <vector>
+
+#include "tpetra/crs_matrix.hpp"
+#include "tpetra/import_export.hpp"
+#include "tpetra/map.hpp"
+#include "tpetra/vector.hpp"
+
+namespace pyhpc::isorropia {
+
+using Map = tpetra::Map<>;
+using Vector = tpetra::Vector<double>;
+using Matrix = tpetra::CrsMatrix<double>;
+
+/// Balanced contiguous repartition of the chain [0, N) by the given
+/// per-index weights (a distributed vector on the current map). Cuts are
+/// chosen so each rank's weight is close to total/P. Collective.
+Map partition_1d_weighted(const Vector& weights);
+
+/// Partitions a matrix's rows by per-row nonzero count — the usual
+/// "balance the work of SpMV" objective. Collective.
+Map partition_by_nonzeros(const Matrix& a);
+
+/// Recursive coordinate bisection of 2D points. `x`/`y` live on the map
+/// being repartitioned; returns an arbitrary map assigning each point to a
+/// rank such that leaf boxes have near-equal counts. Collective.
+Map partition_rcb_2d(const Vector& x, const Vector& y);
+
+/// Moves vector data from its current map onto `target` (collective).
+Vector rebalance(const Vector& v, const Map& target);
+
+/// Rebuilds a matrix over a new row map (entries routed to the new owners
+/// of their rows; the result is fill-complete). Collective.
+Matrix rebalance_matrix(const Matrix& a, const Map& target);
+
+/// Imbalance metric: max over ranks of (local weight / ideal weight).
+/// 1.0 is perfect balance. Collective.
+double imbalance(const Vector& weights);
+
+}  // namespace pyhpc::isorropia

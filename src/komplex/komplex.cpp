@@ -1,0 +1,80 @@
+#include "komplex/komplex.hpp"
+
+namespace pyhpc::komplex {
+
+void ComplexVector::update(std::complex<double> alpha, const ComplexVector& x,
+                           std::complex<double> beta) {
+  for (LO i = 0; i < local_size(); ++i) {
+    const std::complex<double> v =
+        alpha * x.get(i) + beta * std::complex<double>(re_[i], im_[i]);
+    re_[i] = v.real();
+    im_[i] = v.imag();
+  }
+}
+
+ComplexMatrix::ComplexMatrix(const RealMatrix& real_part,
+                             const RealMatrix& imag_part)
+    : ar_(real_part), ai_(imag_part) {
+  require<MapError>(ar_.is_fill_complete() && ai_.is_fill_complete(),
+                    "ComplexMatrix: both parts must be fill-complete");
+  require<MapError>(ar_.row_map().is_same_as(ai_.row_map()),
+                    "ComplexMatrix: real/imag row maps differ");
+  // Interleaving 2g/2g+1 preserves ownership only when the base blocks are
+  // contiguous.
+  require<MapError>(ar_.row_map().is_contiguous(),
+                    "ComplexMatrix: row map must be contiguous");
+
+  // Equivalent real form over interleaved unknowns: rows [2lo, 2hi) stay on
+  // the owner of [lo, hi), so the layout remains contiguous.
+  auto& comm = ar_.row_map().comm();
+  interleaved_ = std::make_shared<Map>(
+      Map::from_local_sizes(comm, 2 * ar_.row_map().num_local()));
+  k_ = std::make_shared<RealMatrix>(*interleaved_);
+
+  for (LO i = 0; i < ar_.num_local_rows(); ++i) {
+    const GO g = ar_.row_map().local_to_global(i);
+    for (const auto& [c, v] : ar_.get_global_row(g)) {
+      k_->insert_global_value(2 * g, 2 * c, v);
+      k_->insert_global_value(2 * g + 1, 2 * c + 1, v);
+    }
+    for (const auto& [c, v] : ai_.get_global_row(g)) {
+      k_->insert_global_value(2 * g, 2 * c + 1, -v);
+      k_->insert_global_value(2 * g + 1, 2 * c, v);
+    }
+  }
+  k_->fill_complete();
+}
+
+void ComplexMatrix::apply(const ComplexVector& x, ComplexVector& y) const {
+  RealVector t1(ar_.range_map()), t2(ar_.range_map());
+  // y_re = Ar x_re - Ai x_im ; y_im = Ar x_im + Ai x_re.
+  ar_.apply(x.real(), t1);
+  ai_.apply(x.imag(), t2);
+  y.real().update(1.0, t1, 0.0);
+  y.real().update(-1.0, t2, 1.0);
+  ar_.apply(x.imag(), t1);
+  ai_.apply(x.real(), t2);
+  y.imag().update(1.0, t1, 0.0);
+  y.imag().update(1.0, t2, 1.0);
+}
+
+solvers::SolveResult ComplexMatrix::solve(
+    const ComplexVector& b, ComplexVector& x,
+    const solvers::KrylovOptions& options) const {
+  // Pack b and the initial guess into the interleaved layout.
+  RealVector rb(*interleaved_), rx(*interleaved_);
+  for (LO i = 0; i < b.local_size(); ++i) {
+    rb[2 * i] = b.real()[i];
+    rb[2 * i + 1] = b.imag()[i];
+    rx[2 * i] = x.real()[i];
+    rx[2 * i + 1] = x.imag()[i];
+  }
+  auto result = solvers::gmres_solve(*k_, rb, rx, options);
+  for (LO i = 0; i < x.local_size(); ++i) {
+    x.real()[i] = rx[2 * i];
+    x.imag()[i] = rx[2 * i + 1];
+  }
+  return result;
+}
+
+}  // namespace pyhpc::komplex

@@ -1,0 +1,95 @@
+// Komplex analogue (Table I: "complex vectors and matrices via real Epetra
+// objects"): complex-valued distributed linear algebra built from pairs of
+// real objects, with complex solves through the equivalent real formulation
+//   [ Ar  -Ai ] [xr]   [br]
+//   [ Ai   Ar ] [xi] = [bi]
+// assembled with interleaved unknowns (2g = real part, 2g+1 = imaginary
+// part of global unknown g) to preserve locality.
+#pragma once
+
+#include <complex>
+
+#include "solvers/krylov.hpp"
+#include "tpetra/crs_matrix.hpp"
+#include "tpetra/vector.hpp"
+
+namespace pyhpc::komplex {
+
+using Map = tpetra::Map<>;
+using RealVector = tpetra::Vector<double>;
+using RealMatrix = tpetra::CrsMatrix<double>;
+using LO = std::int32_t;
+using GO = std::int64_t;
+
+/// A complex vector as two real vectors sharing one map.
+class ComplexVector {
+ public:
+  explicit ComplexVector(const Map& map) : re_(map), im_(map) {}
+
+  RealVector& real() { return re_; }
+  const RealVector& real() const { return re_; }
+  RealVector& imag() { return im_; }
+  const RealVector& imag() const { return im_; }
+
+  const Map& map() const { return re_.map(); }
+  LO local_size() const { return re_.local_size(); }
+
+  std::complex<double> get(LO lid) const { return {re_[lid], im_[lid]}; }
+  void set(LO lid, std::complex<double> z) {
+    re_[lid] = z.real();
+    im_[lid] = z.imag();
+  }
+
+  /// Hermitian inner product conj(this) . other (collective).
+  std::complex<double> dot(const ComplexVector& other) const {
+    const double rr = re_.dot(other.re_);
+    const double ii = im_.dot(other.im_);
+    const double ri = re_.dot(other.im_);
+    const double ir = im_.dot(other.re_);
+    return {rr + ii, ri - ir};
+  }
+
+  double norm2() const {
+    const double r = re_.norm2();
+    const double i = im_.norm2();
+    return std::sqrt(r * r + i * i);
+  }
+
+  /// this := alpha x + beta this (complex axpby, collective-free).
+  void update(std::complex<double> alpha, const ComplexVector& x,
+              std::complex<double> beta);
+
+ private:
+  RealVector re_;
+  RealVector im_;
+};
+
+/// A complex operator A = Ar + i Ai with a complex matvec and an
+/// equivalent-real-form solve.
+class ComplexMatrix {
+ public:
+  /// Both parts must be fill-complete over the same row map. A zero
+  /// imaginary part is expressed by an empty (fill-complete) matrix.
+  ComplexMatrix(const RealMatrix& real_part, const RealMatrix& imag_part);
+
+  const Map& row_map() const { return ar_.row_map(); }
+
+  /// y := A x (complex, collective).
+  void apply(const ComplexVector& x, ComplexVector& y) const;
+
+  /// Solves A x = b through the equivalent real formulation with GMRES
+  /// (collective). Returns the solver result of the real system.
+  solvers::SolveResult solve(const ComplexVector& b, ComplexVector& x,
+                             const solvers::KrylovOptions& options = {}) const;
+
+  /// The assembled equivalent real matrix (size 2N), exposed for tests.
+  const RealMatrix& equivalent_real_matrix() const { return *k_; }
+
+ private:
+  RealMatrix ar_;
+  RealMatrix ai_;
+  std::shared_ptr<RealMatrix> k_;       // equivalent real form
+  std::shared_ptr<Map> interleaved_;    // its row map
+};
+
+}  // namespace pyhpc::komplex

@@ -1,0 +1,21 @@
+#include "odin/dist_array.hpp"
+
+namespace pyhpc::odin {
+
+namespace {
+// Per rank-thread so scopes inside a parallel region stay rank-local.
+thread_local ConformStrategy g_conform_strategy = ConformStrategy::kAuto;
+}  // namespace
+
+ConformStrategy default_conform_strategy() { return g_conform_strategy; }
+
+ConformStrategyScope::ConformStrategyScope(ConformStrategy strategy)
+    : saved_(g_conform_strategy) {
+  g_conform_strategy = strategy;
+}
+
+ConformStrategyScope::~ConformStrategyScope() {
+  g_conform_strategy = saved_;
+}
+
+}  // namespace pyhpc::odin

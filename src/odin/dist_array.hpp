@@ -1,0 +1,421 @@
+// DistArray<T>: ODIN's distributed N-dimensional array.
+//
+// Global mode (paper §III.B): creation routines and whole-array operations
+// that "feel very much like regular NumPy arrays, even though computations
+// are carried out in a distributed fashion". Local mode (§III.C) lives in
+// odin/local.hpp; slicing in odin/slicing.hpp; lazy fused expressions in
+// odin/expr.hpp.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "odin/distribution.hpp"
+#include "odin/shape.hpp"
+#include "util/random.hpp"
+
+namespace pyhpc::odin {
+
+/// Which operand to redistribute when a binary op meets non-conformable
+/// arrays (§III.D: ODIN "will choose a strategy that will minimize
+/// communication, while allowing the knowledgeable user to modify its
+/// behavior").
+enum class ConformStrategy {
+  kAuto,   // measure both directions, move the cheaper one
+  kLeft,   // redistribute the left operand to the right's layout
+  kRight,  // redistribute the right operand to the left's layout
+};
+
+/// The strategy operator sugar (a + b, ufuncs without an explicit strategy
+/// argument) uses on this thread. Per rank-thread, so each rank of a
+/// parallel region can scope its own override.
+ConformStrategy default_conform_strategy();
+
+/// Scoped override — the C++ shape of the paper's "allowing the
+/// knowledgeable user to modify its behavior via Python context managers
+/// and function decorators" (§III.D):
+///
+///   { odin::ConformStrategyScope scope(odin::ConformStrategy::kRight);
+///     auto c = a + b;   // redistributes b, no measuring pass
+///   }
+class ConformStrategyScope {
+ public:
+  explicit ConformStrategyScope(ConformStrategy strategy);
+  ~ConformStrategyScope();
+  ConformStrategyScope(const ConformStrategyScope&) = delete;
+  ConformStrategyScope& operator=(const ConformStrategyScope&) = delete;
+
+ private:
+  ConformStrategy saved_;
+};
+
+template <class T = double>
+class DistArray {
+ public:
+  using value_type = T;
+
+  /// Uninitialized (value-initialized) array over a distribution.
+  explicit DistArray(Distribution dist)
+      : dist_(std::make_shared<Distribution>(std::move(dist))),
+        data_(static_cast<std::size_t>(dist_->local_count()), T{}) {}
+
+  DistArray(Distribution dist, T fill)
+      : dist_(std::make_shared<Distribution>(std::move(dist))),
+        data_(static_cast<std::size_t>(dist_->local_count()), fill) {}
+
+  const Distribution& dist() const { return *dist_; }
+  const Shape& shape() const { return dist_->global_shape(); }
+  int ndim() const { return dist_->ndim(); }
+  index_t size() const { return shape().count(); }
+  Shape local_shape() const { return dist_->local_shape(); }
+  index_t local_size() const { return static_cast<index_t>(data_.size()); }
+
+  std::span<T> local_view() { return data_; }
+  std::span<const T> local_view() const { return data_; }
+
+  T& local_at(index_t linear) { return data_[static_cast<std::size_t>(linear)]; }
+  const T& local_at(index_t linear) const {
+    return data_[static_cast<std::size_t>(linear)];
+  }
+
+  // ---- creation (global mode) ------------------------------------------
+
+  static DistArray zeros(Distribution dist) {
+    return DistArray(std::move(dist), T{});
+  }
+  static DistArray ones(Distribution dist) {
+    return DistArray(std::move(dist), T{1});
+  }
+  static DistArray full(Distribution dist, T value) {
+    return DistArray(std::move(dist), value);
+  }
+
+  /// 1D arange [start, start + n*step) over an existing distribution.
+  static DistArray arange(Distribution dist, T start = T{0}, T step = T{1}) {
+    DistArray a(std::move(dist));
+    a.fill_from_global([&](const std::vector<index_t>& g) {
+      return start + static_cast<T>(g.back()) * step;
+    });
+    return a;
+  }
+
+  /// NumPy-style linspace over a 1D distribution (inclusive endpoints).
+  static DistArray linspace(Distribution dist, T lo, T hi) {
+    require<ShapeError>(dist.ndim() == 1, "linspace: needs a 1D distribution");
+    const index_t n = dist.global_shape().extent(0);
+    DistArray a(std::move(dist));
+    const T step = n > 1 ? (hi - lo) / static_cast<T>(n - 1) : T{0};
+    a.fill_from_global([&](const std::vector<index_t>& g) {
+      return lo + static_cast<T>(g[0]) * step;
+    });
+    return a;
+  }
+
+  /// Deterministic uniform [0,1) fill; mirrors the paper's description of
+  /// odin.rand: each node seeds its own stream from (seed, rank) and no
+  /// array data crosses the wire.
+  static DistArray random(Distribution dist, std::uint64_t seed = 0) {
+    DistArray a(std::move(dist));
+    util::Xoshiro256 rng(seed, static_cast<std::uint64_t>(a.dist().rank()));
+    for (auto& x : a.data_) x = static_cast<T>(rng.next_double());
+    return a;
+  }
+
+  /// Evaluates f(global multi-index) on every local element.
+  static DistArray fromfunction(
+      Distribution dist, const std::function<T(const std::vector<index_t>&)>& f) {
+    DistArray a(std::move(dist));
+    a.fill_from_global(f);
+    return a;
+  }
+
+  // ---- elementwise (local, no communication when conformable) -----------
+
+  /// In-place transform of every local element.
+  template <class F>
+  void transform(F&& f) {
+    for (auto& x : data_) x = f(x);
+  }
+
+  /// New array g(this) with the same distribution.
+  template <class F>
+  DistArray map(F&& f) const {
+    DistArray out(*dist_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
+    return out;
+  }
+
+  /// New array f(this, other); non-conformable operands are redistributed
+  /// according to `strategy` first (collective in that case).
+  template <class F>
+  DistArray zip(const DistArray& other, F&& f,
+                ConformStrategy strategy = ConformStrategy::kAuto) const;
+
+  // ---- reductions (collective) ------------------------------------------
+
+  template <class F>
+  T reduce(T init, F&& op) const {
+    T acc = init;
+    for (const auto& x : data_) acc = op(acc, x);
+    return dist_->comm().allreduce_value(acc, op);
+  }
+
+  T sum() const {
+    return reduce(T{0}, std::plus<T>{});
+  }
+
+  T min() const {
+    T acc = data_.empty() ? std::numeric_limits<T>::max() : data_.front();
+    for (const auto& x : data_) acc = std::min(acc, x);
+    return dist_->comm().allreduce_value(
+        acc, [](T a, T b) { return std::min(a, b); });
+  }
+
+  T max() const {
+    T acc = data_.empty() ? std::numeric_limits<T>::lowest() : data_.front();
+    for (const auto& x : data_) acc = std::max(acc, x);
+    return dist_->comm().allreduce_value(
+        acc, [](T a, T b) { return std::max(a, b); });
+  }
+
+  double mean() const {
+    return static_cast<double>(sum()) / static_cast<double>(size());
+  }
+
+  double norm2() const {
+    double acc = 0.0;
+    for (const auto& x : data_) {
+      acc += static_cast<double>(x) * static_cast<double>(x);
+    }
+    return std::sqrt(dist_->comm().allreduce_value(acc, std::plus<double>{}));
+  }
+
+  /// Global multi-index of the minimum value (ties: lowest global linear
+  /// index). Collective.
+  std::vector<index_t> argmin() const { return arg_extreme(true); }
+  std::vector<index_t> argmax() const { return arg_extreme(false); }
+
+  // ---- global element access (collective) -------------------------------
+
+  /// Every rank receives the value at `gidx` (broadcast from the owner).
+  T get_global(const std::vector<index_t>& gidx) const {
+    const auto [owner, lidx] = dist_->owner_of(gidx);
+    T value{};
+    if (dist_->rank() == owner) {
+      value = data_[static_cast<std::size_t>(lidx)];
+    }
+    return dist_->comm().broadcast_value(value, owner);
+  }
+
+  /// Every rank calls; the owner stores. Collective only by convention
+  /// (no traffic).
+  void set_global(const std::vector<index_t>& gidx, T value) {
+    const auto [owner, lidx] = dist_->owner_of(gidx);
+    if (dist_->rank() == owner) {
+      data_[static_cast<std::size_t>(lidx)] = value;
+    }
+  }
+
+  /// Replicates the full array on every rank in global row-major order
+  /// (collective; test/interop helper).
+  std::vector<T> gather() const {
+    struct Entry {
+      index_t linear;
+      T value;
+    };
+    const auto strides = shape().strides();
+    std::vector<Entry> mine;
+    mine.reserve(data_.size());
+    for (index_t l = 0; l < local_size(); ++l) {
+      const auto gidx = dist_->global_of_local(l);
+      index_t lin = 0;
+      for (std::size_t a = 0; a < gidx.size(); ++a) lin += gidx[a] * strides[a];
+      mine.push_back(Entry{lin, data_[static_cast<std::size_t>(l)]});
+    }
+    auto chunks = dist_->comm().allgatherv(std::span<const Entry>(mine));
+    std::vector<T> out(static_cast<std::size_t>(size()), T{});
+    for (const auto& chunk : chunks) {
+      for (const auto& e : chunk) {
+        out[static_cast<std::size_t>(e.linear)] = e.value;
+      }
+    }
+    return out;
+  }
+
+ private:
+  template <class F>
+  void fill_from_global(F&& f) {
+    for (index_t l = 0; l < local_size(); ++l) {
+      data_[static_cast<std::size_t>(l)] = f(dist_->global_of_local(l));
+    }
+  }
+
+  std::vector<index_t> arg_extreme(bool want_min) const {
+    struct Best {
+      T value;
+      index_t linear;
+    };
+    const auto strides = shape().strides();
+    Best best{want_min ? std::numeric_limits<T>::max()
+                       : std::numeric_limits<T>::lowest(),
+              std::numeric_limits<index_t>::max()};
+    for (index_t l = 0; l < local_size(); ++l) {
+      const T v = data_[static_cast<std::size_t>(l)];
+      const bool better = want_min ? v < best.value : v > best.value;
+      if (better) {
+        const auto gidx = dist_->global_of_local(l);
+        index_t lin = 0;
+        for (std::size_t a = 0; a < gidx.size(); ++a) {
+          lin += gidx[a] * strides[a];
+        }
+        best = Best{v, lin};
+      }
+    }
+    auto all = dist_->comm().allgather_value(best);
+    Best global = all.front();
+    for (const auto& b : all) {
+      const bool better =
+          want_min ? (b.value < global.value ||
+                      (b.value == global.value && b.linear < global.linear))
+                   : (b.value > global.value ||
+                      (b.value == global.value && b.linear < global.linear));
+      if (better) global = b;
+    }
+    require<NumericalError>(global.linear != std::numeric_limits<index_t>::max(),
+                            "argmin/argmax: empty array");
+    return shape().delinearize(global.linear);
+  }
+
+  template <class U>
+  friend DistArray<U> redistribute(const DistArray<U>& a,
+                                   const Distribution& target);
+
+  std::shared_ptr<Distribution> dist_;
+  std::vector<T> data_;
+};
+
+/// Moves an array onto a new distribution of the same global shape
+/// (collective alltoallv; ships (global linear index, value) pairs).
+template <class T>
+DistArray<T> redistribute(const DistArray<T>& a, const Distribution& target) {
+  require<ShapeError>(a.shape() == target.global_shape(),
+                      "redistribute: global shapes differ");
+  auto& comm = a.dist().comm();
+  const int p = comm.size();
+
+  struct Entry {
+    index_t local_at_target;
+    T value;
+  };
+  std::vector<std::vector<Entry>> outgoing(static_cast<std::size_t>(p));
+  for (index_t l = 0; l < a.local_size(); ++l) {
+    const auto gidx = a.dist().global_of_local(l);
+    const auto [owner, lidx] = target.owner_of(gidx);
+    outgoing[static_cast<std::size_t>(owner)].push_back(
+        Entry{lidx, a.local_view()[static_cast<std::size_t>(l)]});
+  }
+  auto incoming = comm.alltoallv(outgoing);
+
+  DistArray<T> out(target);
+  auto view = out.local_view();
+  for (const auto& part : incoming) {
+    for (const auto& e : part) {
+      view[static_cast<std::size_t>(e.local_at_target)] = e.value;
+    }
+  }
+  return out;
+}
+
+/// Estimated communication cost (elements leaving their rank) of moving
+/// `a` onto `target`. Collective. Used by the kAuto conform strategy —
+/// the paper's "expression analysis to select the appropriate
+/// communication strategy".
+template <class T>
+index_t redistribution_cost(const DistArray<T>& a, const Distribution& target) {
+  index_t moving = 0;
+  for (index_t l = 0; l < a.local_size(); ++l) {
+    const auto gidx = a.dist().global_of_local(l);
+    if (target.owner_of(gidx).first != a.dist().rank()) ++moving;
+  }
+  return a.dist().comm().allreduce_value(moving, std::plus<index_t>{});
+}
+
+template <class T>
+template <class F>
+DistArray<T> DistArray<T>::zip(const DistArray& other, F&& f,
+                               ConformStrategy strategy) const {
+  require<ShapeError>(shape() == other.shape(),
+                      util::cat("zip: shapes differ: ", shape().to_string(),
+                                " vs ", other.shape().to_string()));
+  if (dist_->conformable(other.dist())) {
+    DistArray out(*dist_);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      out.data_[i] = f(data_[i], other.data_[i]);
+    }
+    return out;
+  }
+  // Non-conformable: align layouts first.
+  switch (strategy) {
+    case ConformStrategy::kRight: {
+      DistArray rhs = redistribute(other, *dist_);
+      return zip(rhs, f, ConformStrategy::kRight);
+    }
+    case ConformStrategy::kLeft: {
+      DistArray lhs = redistribute(*this, other.dist());
+      return lhs.zip(other, f, ConformStrategy::kLeft);
+    }
+    case ConformStrategy::kAuto: {
+      const index_t cost_right = redistribution_cost(other, *dist_);
+      const index_t cost_left = redistribution_cost(*this, other.dist());
+      return zip(other, f,
+                 cost_right <= cost_left ? ConformStrategy::kRight
+                                         : ConformStrategy::kLeft);
+    }
+  }
+  throw InvalidArgument("zip: unknown conform strategy");
+}
+
+// ---- operator sugar (NumPy-feel arithmetic) ------------------------------
+
+template <class T>
+DistArray<T> operator+(const DistArray<T>& a, const DistArray<T>& b) {
+  return a.zip(b, std::plus<T>{}, default_conform_strategy());
+}
+template <class T>
+DistArray<T> operator-(const DistArray<T>& a, const DistArray<T>& b) {
+  return a.zip(b, std::minus<T>{}, default_conform_strategy());
+}
+template <class T>
+DistArray<T> operator*(const DistArray<T>& a, const DistArray<T>& b) {
+  return a.zip(b, std::multiplies<T>{}, default_conform_strategy());
+}
+template <class T>
+DistArray<T> operator/(const DistArray<T>& a, const DistArray<T>& b) {
+  return a.zip(b, std::divides<T>{}, default_conform_strategy());
+}
+template <class T>
+DistArray<T> operator+(const DistArray<T>& a, T s) {
+  return a.map([s](T x) { return x + s; });
+}
+template <class T>
+DistArray<T> operator-(const DistArray<T>& a, T s) {
+  return a.map([s](T x) { return x - s; });
+}
+template <class T>
+DistArray<T> operator*(const DistArray<T>& a, T s) {
+  return a.map([s](T x) { return x * s; });
+}
+template <class T>
+DistArray<T> operator/(const DistArray<T>& a, T s) {
+  return a.map([s](T x) { return x / s; });
+}
+template <class T>
+DistArray<T> operator*(T s, const DistArray<T>& a) {
+  return a * s;
+}
+
+}  // namespace pyhpc::odin

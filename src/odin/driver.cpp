@@ -1,0 +1,216 @@
+#include "odin/driver.hpp"
+
+#include "odin/ufunc.hpp"
+#include "util/random.hpp"
+
+namespace pyhpc::odin {
+
+namespace {
+constexpr int kControlTag = 9001;
+constexpr int kReplyTag = 9002;
+}  // namespace
+
+DriverContext::DriverContext(comm::Communicator& comm) : comm_(&comm) {
+  require(comm.size() >= 2,
+          "DriverContext: need at least one worker besides the driver");
+}
+
+// Workers partition [0, n) in near-equal blocks by worker index.
+std::int64_t DriverContext::local_count(std::int64_t n) const {
+  const int w = comm_->rank() - 1;
+  const int nw = num_workers();
+  return n / nw + (w < n % nw ? 1 : 0);
+}
+
+std::int64_t DriverContext::local_offset(std::int64_t n) const {
+  const int w = comm_->rank() - 1;
+  const int nw = num_workers();
+  const std::int64_t chunk = n / nw;
+  const std::int64_t rem = n % nw;
+  return static_cast<std::int64_t>(w) * chunk + std::min<std::int64_t>(w, rem);
+}
+
+void DriverContext::send_payload(int worker,
+                                 const std::vector<ControlMessage>& batch) {
+  comm_->send(std::span<const ControlMessage>(batch), worker, kControlTag);
+  ++payloads_;
+  messages_ += batch.size();
+  bytes_ += batch.size() * sizeof(ControlMessage);
+}
+
+void DriverContext::post(const ControlMessage& msg) {
+  require(is_driver(), "DriverContext: operations are driver-side only");
+  if (batching_) {
+    queue_.push_back(msg);
+    return;
+  }
+  const std::vector<ControlMessage> single{msg};
+  for (int w = 1; w < comm_->size(); ++w) send_payload(w, single);
+}
+
+void DriverContext::begin_batch() {
+  require(is_driver(), "DriverContext: begin_batch is driver-side only");
+  batching_ = true;
+}
+
+void DriverContext::flush_batch() {
+  require(is_driver(), "DriverContext: flush_batch is driver-side only");
+  batching_ = false;
+  if (queue_.empty()) return;
+  for (int w = 1; w < comm_->size(); ++w) send_payload(w, queue_);
+  queue_.clear();
+}
+
+int DriverContext::create_random(std::int64_t n, std::uint64_t seed) {
+  ControlMessage m;
+  m.op = ControlMessage::Op::kCreateRandom;
+  m.result_id = fresh_id();
+  m.n = n;
+  m.scalar = static_cast<double>(seed);
+  post(m);
+  return m.result_id;
+}
+
+int DriverContext::create_full(std::int64_t n, double value) {
+  ControlMessage m;
+  m.op = ControlMessage::Op::kCreateFull;
+  m.result_id = fresh_id();
+  m.n = n;
+  m.scalar = value;
+  post(m);
+  return m.result_id;
+}
+
+int DriverContext::unary(const std::string& ufunc, int a) {
+  ControlMessage m;
+  m.op = ControlMessage::Op::kUnary;
+  m.result_id = fresh_id();
+  m.arg0 = a;
+  m.set_name(ufunc);
+  post(m);
+  return m.result_id;
+}
+
+int DriverContext::binary(const std::string& ufunc, int a, int b) {
+  ControlMessage m;
+  m.op = ControlMessage::Op::kBinary;
+  m.result_id = fresh_id();
+  m.arg0 = a;
+  m.arg1 = b;
+  m.set_name(ufunc);
+  post(m);
+  return m.result_id;
+}
+
+int DriverContext::axpy(double alpha, int x, int y) {
+  ControlMessage m;
+  m.op = ControlMessage::Op::kAxpy;
+  m.result_id = fresh_id();
+  m.arg0 = x;
+  m.arg1 = y;
+  m.scalar = alpha;
+  post(m);
+  return m.result_id;
+}
+
+void DriverContext::free_array(int id) {
+  ControlMessage m;
+  m.op = ControlMessage::Op::kFree;
+  m.arg0 = id;
+  post(m);
+}
+
+double DriverContext::reduce_sum(int a) {
+  if (batching_) flush_batch();
+  ControlMessage m;
+  m.op = ControlMessage::Op::kReduceSum;
+  m.arg0 = a;
+  post(m);
+  double total = 0.0;
+  for (int w = 1; w < comm_->size(); ++w) {
+    total += comm_->recv_value<double>(w, kReplyTag);
+  }
+  return total;
+}
+
+void DriverContext::shutdown() {
+  if (batching_) flush_batch();
+  ControlMessage m;
+  m.op = ControlMessage::Op::kShutdown;
+  post(m);
+}
+
+void DriverContext::worker_loop() {
+  require(!is_driver(), "DriverContext: worker_loop is worker-side only");
+  bool running = true;
+  while (running) {
+    auto batch = comm_->recv_vector<ControlMessage>(0, kControlTag);
+    for (const auto& msg : batch) {
+      execute(msg, running);
+      if (!running) break;
+    }
+  }
+}
+
+void DriverContext::execute(const ControlMessage& msg, bool& running) {
+  using Op = ControlMessage::Op;
+  switch (msg.op) {
+    case Op::kCreateRandom: {
+      auto& seg = segments_[msg.result_id];
+      seg.resize(static_cast<std::size_t>(local_count(msg.n)));
+      util::Xoshiro256 rng(static_cast<std::uint64_t>(msg.scalar),
+                           static_cast<std::uint64_t>(comm_->rank()));
+      for (auto& x : seg) x = rng.next_double();
+      break;
+    }
+    case Op::kCreateFull: {
+      auto& seg = segments_[msg.result_id];
+      seg.assign(static_cast<std::size_t>(local_count(msg.n)), msg.scalar);
+      break;
+    }
+    case Op::kUnary: {
+      const auto& fn = UfuncRegistry::builtin().unary(msg.get_name());
+      const auto& in = segments_.at(msg.arg0);
+      auto& out = segments_[msg.result_id];
+      out.resize(in.size());
+      for (std::size_t i = 0; i < in.size(); ++i) out[i] = fn(in[i]);
+      break;
+    }
+    case Op::kBinary: {
+      const auto& fn = UfuncRegistry::builtin().binary(msg.get_name());
+      const auto& a = segments_.at(msg.arg0);
+      const auto& b = segments_.at(msg.arg1);
+      require(a.size() == b.size(), "driver worker: segment size mismatch");
+      auto& out = segments_[msg.result_id];
+      out.resize(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i) out[i] = fn(a[i], b[i]);
+      break;
+    }
+    case Op::kAxpy: {
+      const auto& x = segments_.at(msg.arg0);
+      const auto& y = segments_.at(msg.arg1);
+      require(x.size() == y.size(), "driver worker: segment size mismatch");
+      auto& out = segments_[msg.result_id];
+      out.resize(x.size());
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        out[i] = msg.scalar * x[i] + y[i];
+      }
+      break;
+    }
+    case Op::kReduceSum: {
+      const auto& a = segments_.at(msg.arg0);
+      double partial = 0.0;
+      for (double v : a) partial += v;
+      comm_->send_value(partial, 0, kReplyTag);
+      break;
+    }
+    case Op::kFree:
+      segments_.erase(msg.arg0);
+      break;
+    case Op::kShutdown:
+      running = false;
+      break;
+  }
+}
+
+}  // namespace pyhpc::odin

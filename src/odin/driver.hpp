@@ -1,0 +1,116 @@
+// Explicit driver/worker execution mode — the architecture of the paper's
+// Figure 1: "The end user interacts with the ODIN Process, which determines
+// what allocations and calculations to run on the worker nodes ... All
+// array data is allocated and initialized on each node; the only
+// communication from the top-level node is a short message, at most tens of
+// bytes. For efficiency, several messages can be buffered and sent at once".
+//
+// Rank 0 is the ODIN process (driver); ranks 1..P-1 run worker_loop().
+// Every operation is one fixed-size ControlMessage (40 bytes) per worker;
+// batching queues messages and ships them as one payload. The SPMD global
+// mode elsewhere in the library derives each op descriptor locally instead
+// of shipping it — bench_fig1 measures the difference (including the
+// driver-bottleneck effect the paper warns about).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "util/error.hpp"
+
+namespace pyhpc::odin {
+
+/// Fixed-size control message ("at most tens of bytes").
+struct ControlMessage {
+  enum class Op : std::int32_t {
+    kCreateRandom = 1,
+    kCreateFull = 2,
+    kUnary = 3,
+    kBinary = 4,
+    kReduceSum = 5,
+    kAxpy = 6,   // result = scalar * arg0 + arg1
+    kFree = 7,
+    kShutdown = 8,
+  };
+
+  Op op = Op::kShutdown;
+  std::int32_t result_id = -1;
+  std::int32_t arg0 = -1;
+  std::int32_t arg1 = -1;
+  std::int64_t n = 0;     // global element count for creations
+  double scalar = 0.0;    // fill value / seed / axpy coefficient
+  char name[8] = {0};     // ufunc name for kUnary/kBinary
+
+  void set_name(const std::string& s) {
+    require(s.size() < sizeof(name), "ControlMessage: ufunc name too long");
+    std::memset(name, 0, sizeof(name));
+    std::memcpy(name, s.data(), s.size());
+  }
+  std::string get_name() const { return std::string(name); }
+};
+static_assert(sizeof(ControlMessage) <= 48,
+              "control messages must stay at tens of bytes");
+
+/// Driver-side API (valid on rank 0) plus the worker loop (ranks > 0).
+class DriverContext {
+ public:
+  explicit DriverContext(comm::Communicator& comm);
+
+  bool is_driver() const { return comm_->rank() == 0; }
+  int num_workers() const { return comm_->size() - 1; }
+
+  /// Workers block here executing control messages until kShutdown.
+  void worker_loop();
+
+  // ---- driver-side operations (each ships one message per worker) -------
+
+  /// New distributed array of n uniform [0,1) values; returns its id.
+  int create_random(std::int64_t n, std::uint64_t seed);
+  int create_full(std::int64_t n, double value);
+  int unary(const std::string& ufunc, int a);
+  int binary(const std::string& ufunc, int a, int b);
+  int axpy(double alpha, int x, int y);
+  void free_array(int id);
+  /// Sum-reduce: workers reply with partials the driver folds.
+  double reduce_sum(int a);
+  void shutdown();
+
+  // ---- message batching (the paper's buffering optimization) ------------
+
+  /// Between begin_batch and flush_batch, messages queue locally and ship
+  /// as one payload per worker at flush (or at the next reduce/shutdown).
+  void begin_batch();
+  void flush_batch();
+  bool batching() const { return batching_; }
+
+  /// Driver-side count of control messages and bytes shipped (for F1).
+  std::uint64_t control_messages_sent() const { return messages_; }
+  std::uint64_t control_bytes_sent() const { return bytes_; }
+  std::uint64_t payloads_sent() const { return payloads_; }
+
+ private:
+  void post(const ControlMessage& msg);
+  void send_payload(int worker, const std::vector<ControlMessage>& batch);
+  int fresh_id() { return next_id_++; }
+
+  // Worker-side helpers.
+  void execute(const ControlMessage& msg, bool& running);
+  std::int64_t local_count(std::int64_t n) const;
+  std::int64_t local_offset(std::int64_t n) const;
+
+  comm::Communicator* comm_;
+  int next_id_ = 1;
+  bool batching_ = false;
+  std::vector<ControlMessage> queue_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t payloads_ = 0;
+  // Worker-side storage: array id -> local segment.
+  std::map<int, std::vector<double>> segments_;
+};
+
+}  // namespace pyhpc::odin

@@ -1,0 +1,79 @@
+// ODIN <-> Tpetra interop (§III.E: "ODIN arrays are designed to be
+// optionally compatible with Trilinos distributed Vectors and MultiVectors
+// and their associated global-to-local mapping class, allowing ODIN users
+// to use Trilinos packages via the expanded PyTrilinos wrappers").
+//
+// A 1D contiguous-block ODIN array corresponds exactly to a Tpetra Vector
+// over a Map with the same per-rank section sizes, so the conversion is a
+// zero-communication local copy; other layouts redistribute to block form
+// first.
+#pragma once
+
+#include "odin/dist_array.hpp"
+#include "tpetra/map.hpp"
+#include "tpetra/vector.hpp"
+
+namespace pyhpc::odin {
+
+/// The Tpetra map matching a 1D block/explicit ODIN distribution.
+inline tpetra::Map<> tpetra_map_of(const Distribution& dist) {
+  require<ShapeError>(dist.ndim() == 1,
+                      "tpetra_map_of: only 1D arrays map to Vectors");
+  const auto& spec = dist.axis_spec(0);
+  require<ShapeError>(spec.scheme == Scheme::kBlock ||
+                          spec.scheme == Scheme::kExplicit ||
+                          spec.scheme == Scheme::kReplicated,
+                      "tpetra_map_of: needs a contiguous block distribution");
+  if (spec.scheme == Scheme::kReplicated) {
+    // A replicated axis corresponds to a rank-0-owned map only in the
+    // degenerate single-rank case.
+    require<ShapeError>(dist.num_ranks() == 1,
+                        "tpetra_map_of: replicated arrays need 1 rank");
+  }
+  return tpetra::Map<>::from_local_sizes(
+      dist.comm(), static_cast<std::int32_t>(dist.local_count()));
+}
+
+/// ODIN array -> Tpetra Vector (local copy for block layouts; other
+/// layouts are redistributed first — collective in that case).
+inline tpetra::Vector<double> to_tpetra(const DistArray<double>& a) {
+  const auto& spec0 = a.dist().axis_spec(0);
+  if (a.ndim() == 1 && (spec0.scheme == Scheme::kBlock ||
+                        spec0.scheme == Scheme::kExplicit ||
+                        (spec0.scheme == Scheme::kReplicated &&
+                         a.dist().num_ranks() == 1))) {
+    auto map = tpetra_map_of(a.dist());
+    tpetra::Vector<double> v(map);
+    auto src = a.local_view();
+    auto dst = v.local_view();
+    std::copy(src.begin(), src.end(), dst.begin());
+    return v;
+  }
+  require<ShapeError>(a.ndim() == 1,
+                      "to_tpetra: only 1D arrays convert to Vectors");
+  DistArray<double> blocked =
+      redistribute(a, Distribution::block(a.dist().comm(), a.shape(), 0));
+  return to_tpetra(blocked);
+}
+
+/// Tpetra Vector -> ODIN block array (requires a contiguous Tpetra map;
+/// local copy, no communication).
+inline DistArray<double> from_tpetra(const tpetra::Vector<double>& v) {
+  require<ShapeError>(v.map().is_contiguous(),
+                      "from_tpetra: needs a contiguous Tpetra map");
+  auto& comm = v.map().comm();
+  std::vector<index_t> sizes(static_cast<std::size_t>(comm.size()), 0);
+  auto counts = comm.allgather_value<index_t>(v.local_size());
+  for (int r = 0; r < comm.size(); ++r) {
+    sizes[static_cast<std::size_t>(r)] = counts[static_cast<std::size_t>(r)];
+  }
+  Distribution dist = Distribution::explicit_block(
+      comm, Shape({static_cast<index_t>(v.global_size())}), 0, sizes);
+  DistArray<double> a(dist);
+  auto src = v.local_view();
+  auto dst = a.local_view();
+  std::copy(src.begin(), src.end(), dst.begin());
+  return a;
+}
+
+}  // namespace pyhpc::odin

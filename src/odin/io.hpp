@@ -1,0 +1,30 @@
+// Distributed file IO (§III.H: "ODIN, being compatible with MPI, can make
+// use of MPI's distributed IO routines. For custom formats, access to
+// node-level computations allows full control to read or write any
+// arbitrary distributed file format").
+//
+// Format: a fixed 32-byte header (magic, element size, ndim, extents...)
+// followed by the elements in global row-major order. Each rank writes and
+// reads only its own elements at their absolute offsets via pread/pwrite —
+// the MPI-IO "file view" pattern.
+#pragma once
+
+#include <string>
+
+#include "odin/dist_array.hpp"
+
+namespace pyhpc::odin {
+
+/// Writes a distributed double array; collective (rank 0 writes the
+/// header, everyone writes its elements in place).
+void write_distributed(const DistArray<double>& a, const std::string& path);
+
+/// Reads a distributed double array under the given distribution; the
+/// stored shape must match. Collective.
+DistArray<double> read_distributed(const Distribution& dist,
+                                   const std::string& path);
+
+/// Reads just the stored shape (rank 0 reads, broadcast). Collective.
+Shape read_stored_shape(comm::Communicator& comm, const std::string& path);
+
+}  // namespace pyhpc::odin

@@ -1,0 +1,105 @@
+// ODIN local mode (§III.C): the odin.local decorator analogue.
+//
+// A "local function" runs once per rank against the local segments of the
+// distributed arguments, with a LocalContext giving the rank identity, the
+// global context of each segment, and the communicator for direct
+// worker-to-worker communication (the paper: "a local function could
+// perform any arbitrary operation, including communication with another
+// node").
+//
+// register_local / call_local mirror the decorator's second duty: the
+// function object is "broadcast ... to all worker nodes and injected into
+// their namespace, so it is able to be called from the global level" —
+// here a process-wide registry keyed by name, which is also what the Fig-1
+// driver dispatches with its tens-of-bytes control messages.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "odin/dist_array.hpp"
+
+namespace pyhpc::odin {
+
+/// Everything a node-level function may need about its segment.
+struct LocalContext {
+  int rank = 0;
+  int num_ranks = 1;
+  comm::Communicator* comm = nullptr;  // direct worker-to-worker channel
+  const Distribution* dist = nullptr;  // layout of the first argument
+
+  /// Global multi-index of a local linear offset of the first argument.
+  std::vector<index_t> global_of(index_t local_linear) const {
+    return dist->global_of_local(local_linear);
+  }
+};
+
+/// Runs `fn(ctx, local segment)` on every rank; the segment is writable.
+template <class T, class F>
+void local_apply(DistArray<T>& a, F&& fn) {
+  LocalContext ctx{a.dist().rank(), a.dist().num_ranks(), &a.dist().comm(),
+                   &a.dist()};
+  fn(ctx, a.local_view());
+}
+
+/// Two-argument variant (e.g. the paper's hypot(x, y) example). The arrays
+/// must be conformable so the segments align element-by-element.
+template <class T, class F>
+DistArray<T> local_map2(const DistArray<T>& x, const DistArray<T>& y,
+                        F&& fn) {
+  require<ShapeError>(x.dist().conformable(y.dist()),
+                      "local_map2: arguments must be conformable");
+  DistArray<T> out(x.dist());
+  LocalContext ctx{x.dist().rank(), x.dist().num_ranks(), &x.dist().comm(),
+                   &x.dist()};
+  fn(ctx, x.local_view(), y.local_view(), out.local_view());
+  return out;
+}
+
+/// Signature of a registered node-level function: reads the segments of
+/// its inputs and writes the segment of its output.
+using LocalFunction = std::function<void(
+    const LocalContext&, const std::vector<std::span<const double>>&,
+    std::span<double>)>;
+
+/// Process-wide named registry (the "injected into their namespace" step).
+class LocalRegistry {
+ public:
+  static LocalRegistry& instance();
+
+  void register_function(const std::string& name, LocalFunction fn);
+  bool has(const std::string& name) const;
+  const LocalFunction& get(const std::string& name) const;
+  std::vector<std::string> names() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, LocalFunction> fns_;
+};
+
+/// Global-level call of a registered local function (the paper: "when
+/// called from the global level, a message is broadcast to all worker
+/// nodes to call their local hypot function"). All arguments must be
+/// conformable; the result shares their distribution. Collective.
+template <class... Arrays>
+DistArray<double> call_local(const std::string& name, const DistArray<double>& first,
+                             const Arrays&... rest) {
+  const LocalFunction& fn = LocalRegistry::instance().get(name);
+  ((void)require<ShapeError>(first.dist().conformable(rest.dist()),
+                             "call_local: arguments must be conformable"),
+   ...);
+  DistArray<double> out(first.dist());
+  LocalContext ctx{first.dist().rank(), first.dist().num_ranks(),
+                   &first.dist().comm(), &first.dist()};
+  std::vector<std::span<const double>> inputs{first.local_view(),
+                                              rest.local_view()...};
+  fn(ctx, inputs, out.local_view());
+  return out;
+}
+
+}  // namespace pyhpc::odin

@@ -1,0 +1,172 @@
+// Distributed array slicing (§III.G): NumPy slice expressions over
+// distributed arrays, including the shifted-slice pattern behind
+// finite-difference stencils (`dy = y[1:] - y[:-1]`).
+//
+// The general `slice()` routes elements to a fresh block distribution of
+// the result shape. `shifted_diff`/`shift` implement the stencil special
+// case with a one-deep halo exchange, which is what an MPI programmer would
+// hand-write — E3 measures both paths.
+#pragma once
+
+#include <algorithm>
+
+#include "odin/dist_array.hpp"
+#include "odin/shape.hpp"
+
+namespace pyhpc::odin {
+
+/// General N-dimensional slice: result is block-distributed over the same
+/// axes as the source (replicated axes stay replicated). Collective.
+template <class T>
+DistArray<T> slice(const DistArray<T>& a, const std::vector<Slice>& slices) {
+  require<ShapeError>(slices.size() == static_cast<std::size_t>(a.ndim()),
+                      "slice: need one Slice per axis");
+  const Shape& gshape = a.shape();
+  std::vector<Slice::Resolved> resolved;
+  std::vector<index_t> out_dims;
+  resolved.reserve(slices.size());
+  for (int axis = 0; axis < a.ndim(); ++axis) {
+    resolved.push_back(
+        slices[static_cast<std::size_t>(axis)].resolve(gshape.extent(axis)));
+    out_dims.push_back(resolved.back().count);
+  }
+  Shape out_shape(out_dims);
+
+  // Result distribution: block over the source's first distributed axis
+  // (axis 0 if fully replicated).
+  int dist_axis = 0;
+  for (int axis = 0; axis < a.ndim(); ++axis) {
+    if (a.dist().grid_dim_of_axis(axis) >= 0) {
+      dist_axis = axis;
+      break;
+    }
+  }
+  auto& comm = a.dist().comm();
+  Distribution out_dist = Distribution::block(comm, out_shape, dist_axis);
+
+  struct Entry {
+    index_t local_at_target;
+    T value;
+  };
+  const int p = comm.size();
+  std::vector<std::vector<Entry>> outgoing(static_cast<std::size_t>(p));
+  std::vector<index_t> out_idx(static_cast<std::size_t>(a.ndim()), 0);
+  for (index_t l = 0; l < a.local_size(); ++l) {
+    const auto gidx = a.dist().global_of_local(l);
+    bool inside = true;
+    for (int axis = 0; axis < a.ndim() && inside; ++axis) {
+      const auto& r = resolved[static_cast<std::size_t>(axis)];
+      const index_t g = gidx[static_cast<std::size_t>(axis)];
+      const index_t delta = g - r.first;
+      if (r.step > 0) {
+        inside = delta >= 0 && delta % r.step == 0 && delta / r.step < r.count;
+        if (inside) out_idx[static_cast<std::size_t>(axis)] = delta / r.step;
+      } else {
+        const index_t back = r.first - g;
+        inside = back >= 0 && back % (-r.step) == 0 &&
+                 back / (-r.step) < r.count;
+        if (inside) out_idx[static_cast<std::size_t>(axis)] = back / (-r.step);
+      }
+    }
+    if (!inside) continue;
+    const auto [owner, lidx] = out_dist.owner_of(out_idx);
+    outgoing[static_cast<std::size_t>(owner)].push_back(
+        Entry{lidx, a.local_view()[static_cast<std::size_t>(l)]});
+  }
+  auto incoming = comm.alltoallv(outgoing);
+
+  DistArray<T> out(out_dist);
+  auto view = out.local_view();
+  for (const auto& part : incoming) {
+    for (const auto& e : part) {
+      view[static_cast<std::size_t>(e.local_at_target)] = e.value;
+    }
+  }
+  return out;
+}
+
+/// 1D convenience overload.
+template <class T>
+DistArray<T> slice1d(const DistArray<T>& a, Slice s) {
+  return slice(a, std::vector<Slice>{s});
+}
+
+/// diff(a): a[1:] - a[:-1] for a 1D block-distributed array, implemented
+/// with a one-element halo exchange instead of a general redistribution —
+/// the hand-optimized path E3 compares against. Collective.
+template <class T>
+DistArray<T> shifted_diff(const DistArray<T>& a) {
+  require<ShapeError>(a.ndim() == 1, "shifted_diff: needs a 1D array");
+  require<ShapeError>(a.dist().axis_spec(0).scheme == Scheme::kBlock ||
+                          a.dist().axis_spec(0).scheme == Scheme::kExplicit,
+                      "shifted_diff: needs a contiguous block distribution");
+  const index_t n = a.shape().extent(0);
+  require<ShapeError>(n >= 1, "shifted_diff: empty array");
+  auto& comm = a.dist().comm();
+  const int p = comm.size();
+  const int r = comm.rank();
+
+  // Result y[k] = a[k+1] - a[k] for k in [0, n-1), distributed like the
+  // first n-1 entries of `a` truncated by one at the last nonempty rank.
+  // Each rank needs one halo value: the first element of the next
+  // nonempty rank.
+  const index_t my_count = a.local_size();
+  // Find my successor rank with data (static: from axis counts).
+  int next_with_data = -1;
+  for (int q = r + 1; q < p; ++q) {
+    if (a.dist().axis_count(0, q) > 0) {
+      next_with_data = q;
+      break;
+    }
+  }
+  int prev_with_data = -1;
+  for (int q = r - 1; q >= 0; --q) {
+    if (a.dist().axis_count(0, q) > 0) {
+      prev_with_data = q;
+      break;
+    }
+  }
+
+  constexpr int kHaloTag = 7001;
+  if (my_count > 0 && prev_with_data >= 0) {
+    comm.send_value(a.local_view()[0], prev_with_data, kHaloTag);
+  }
+  T halo{};
+  bool have_halo = false;
+  if (my_count > 0 && next_with_data >= 0) {
+    halo = comm.template recv_value<T>(next_with_data, kHaloTag);
+    have_halo = true;
+  }
+
+  // Local output: my_count results when a halo exists, otherwise one fewer
+  // (the global last element produces no difference).
+  std::vector<index_t> sizes(static_cast<std::size_t>(p), 0);
+  for (int q = 0; q < p; ++q) {
+    const index_t c = a.dist().axis_count(0, q);
+    bool q_has_next = false;
+    for (int w = q + 1; w < p; ++w) {
+      if (a.dist().axis_count(0, w) > 0) {
+        q_has_next = true;
+        break;
+      }
+    }
+    sizes[static_cast<std::size_t>(q)] = c == 0 ? 0 : (q_has_next ? c : c - 1);
+  }
+  Distribution out_dist = Distribution::explicit_block(
+      comm, Shape({n - 1}), 0, sizes);
+  DistArray<T> out(out_dist);
+  auto in = a.local_view();
+  auto view = out.local_view();
+  const index_t out_n = static_cast<index_t>(view.size());
+  for (index_t k = 0; k + 1 < my_count; ++k) {
+    view[static_cast<std::size_t>(k)] =
+        in[static_cast<std::size_t>(k) + 1] - in[static_cast<std::size_t>(k)];
+  }
+  if (have_halo && out_n == my_count) {
+    view[static_cast<std::size_t>(my_count - 1)] =
+        halo - in[static_cast<std::size_t>(my_count - 1)];
+  }
+  return out;
+}
+
+}  // namespace pyhpc::odin

@@ -1,0 +1,29 @@
+#include "odin/ufunc.hpp"
+
+namespace pyhpc::odin {
+
+UfuncRegistry& UfuncRegistry::builtin() {
+  static UfuncRegistry reg = [] {
+    UfuncRegistry r;
+    r.register_unary("sin", [](double x) { return std::sin(x); });
+    r.register_unary("cos", [](double x) { return std::cos(x); });
+    r.register_unary("sqrt", [](double x) { return std::sqrt(x); });
+    r.register_unary("exp", [](double x) { return std::exp(x); });
+    r.register_unary("log", [](double x) { return std::log(x); });
+    r.register_unary("abs", [](double x) { return std::abs(x); });
+    r.register_unary("square", [](double x) { return x * x; });
+    r.register_unary("neg", [](double x) { return -x; });
+    r.register_binary("add", [](double x, double y) { return x + y; });
+    r.register_binary("sub", [](double x, double y) { return x - y; });
+    r.register_binary("mul", [](double x, double y) { return x * y; });
+    r.register_binary("div", [](double x, double y) { return x / y; });
+    r.register_binary("hypot", [](double x, double y) { return std::hypot(x, y); });
+    r.register_binary("pow", [](double x, double y) { return std::pow(x, y); });
+    r.register_binary("min", [](double x, double y) { return std::min(x, y); });
+    r.register_binary("max", [](double x, double y) { return std::max(x, y); });
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace pyhpc::odin

@@ -1,0 +1,422 @@
+// AST -> stack bytecode compiler.
+#include <unordered_map>
+
+#include "seamless/bytecode.hpp"
+#include "util/string_util.hpp"
+
+namespace pyhpc::seamless {
+
+namespace {
+
+class FunctionCompiler {
+ public:
+  FunctionCompiler(const FunctionDef& fn,
+                   const std::map<std::string, int>& function_index)
+      : fn_(fn), function_index_(function_index) {
+    out_.name = fn.name;
+    out_.num_params = static_cast<int>(fn.params.size());
+    for (const auto& p : fn.params) (void)slot_of(p);
+  }
+
+  CompiledFunction compile() {
+    compile_block(fn_.body);
+    emit(OpCode::kReturnNone, fn_.line);
+    out_.num_locals = static_cast<int>(slots_.size());
+    return std::move(out_);
+  }
+
+ private:
+  int slot_of(const std::string& name) {
+    auto it = slots_.find(name);
+    if (it != slots_.end()) return it->second;
+    const int slot = static_cast<int>(slots_.size());
+    slots_[name] = slot;
+    out_.local_names.push_back(name);
+    return slot;
+  }
+
+  int add_const(Value v) {
+    out_.consts.push_back(std::move(v));
+    return static_cast<int>(out_.consts.size()) - 1;
+  }
+
+  std::size_t emit(OpCode op, int line, std::int32_t a = 0, std::int32_t b = 0,
+                   std::int32_t c = 0) {
+    Instr instr;
+    instr.op = op;
+    instr.a = a;
+    instr.b = b;
+    instr.c = c;
+    instr.line = line;
+    out_.code.push_back(instr);
+    return out_.code.size() - 1;
+  }
+
+  void patch_jump(std::size_t at) {
+    out_.code[at].jump = static_cast<std::int32_t>(out_.code.size());
+  }
+
+  // ---- statements -------------------------------------------------------
+
+  void compile_block(const Block& block) {
+    for (const auto& stmt : block) compile_stmt(*stmt);
+  }
+
+  void compile_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kExpr:
+        compile_expr(*stmt.value);
+        emit(OpCode::kPop, stmt.line);
+        return;
+      case StmtKind::kAssign:
+        compile_expr(*stmt.value);
+        emit(OpCode::kStoreLocal, stmt.line, slot_of(stmt.name));
+        return;
+      case StmtKind::kAugAssign: {
+        const int slot = slot_of(stmt.name);
+        emit(OpCode::kLoadLocal, stmt.line, slot);
+        compile_expr(*stmt.value);
+        emit(OpCode::kBinary, stmt.line, static_cast<int>(stmt.bin_op));
+        emit(OpCode::kStoreLocal, stmt.line, slot);
+        return;
+      }
+      case StmtKind::kIndexAssign: {
+        compile_expr(*stmt.target);
+        compile_expr(*stmt.index);
+        if (stmt.augmented) {
+          // target index target[index] -> recompute load cheaply:
+          compile_expr(*stmt.target);
+          compile_expr(*stmt.index);
+          emit(OpCode::kIndexLoad, stmt.line);
+          compile_expr(*stmt.value);
+          emit(OpCode::kBinary, stmt.line, static_cast<int>(stmt.bin_op));
+        } else {
+          compile_expr(*stmt.value);
+        }
+        emit(OpCode::kIndexStore, stmt.line);
+        return;
+      }
+      case StmtKind::kIf: {
+        std::vector<std::size_t> end_jumps;
+        for (std::size_t i = 0; i < stmt.conditions.size(); ++i) {
+          compile_expr(*stmt.conditions[i]);
+          const std::size_t skip = emit(OpCode::kPopJumpIfFalse, stmt.line);
+          compile_block(stmt.arms[i]);
+          end_jumps.push_back(emit(OpCode::kJump, stmt.line));
+          patch_jump(skip);
+        }
+        if (!stmt.orelse.empty()) compile_block(stmt.orelse);
+        for (auto j : end_jumps) patch_jump(j);
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto head = static_cast<std::int32_t>(out_.code.size());
+        compile_expr(*stmt.value);
+        const std::size_t exit = emit(OpCode::kPopJumpIfFalse, stmt.line);
+        loop_stack_.push_back(LoopInfo{head, {}, {}});
+        compile_block(stmt.body);
+        const std::size_t back = emit(OpCode::kJump, stmt.line);
+        out_.code[back].jump = head;
+        patch_jump(exit);
+        for (auto b : loop_stack_.back().break_jumps) patch_jump(b);
+        loop_stack_.pop_back();
+        return;
+      }
+      case StmtKind::kForRange: {
+        // A hidden iteration counter keeps range() semantics even when the
+        // body reassigns the loop variable (matching the interpreter).
+        const int var = slot_of(stmt.name);
+        const int iter = slot_of("$iter" + std::to_string(hidden_++));
+        const int stop = slot_of("$stop" + std::to_string(hidden_++));
+        const int step = slot_of("$step" + std::to_string(hidden_++));
+        if (stmt.start != nullptr) {
+          compile_expr(*stmt.start);
+        } else {
+          emit(OpCode::kLoadConst, stmt.line, add_const(Value::of(0)));
+        }
+        emit(OpCode::kStoreLocal, stmt.line, iter);
+        compile_expr(*stmt.stop);
+        emit(OpCode::kStoreLocal, stmt.line, stop);
+        if (stmt.step != nullptr) {
+          compile_expr(*stmt.step);
+        } else {
+          emit(OpCode::kLoadConst, stmt.line, add_const(Value::of(1)));
+        }
+        emit(OpCode::kStoreLocal, stmt.line, step);
+
+        const auto head = static_cast<std::int32_t>(out_.code.size());
+        const std::size_t check =
+            emit(OpCode::kForCheck, stmt.line, iter, stop, step);
+        emit(OpCode::kLoadLocal, stmt.line, iter);
+        emit(OpCode::kStoreLocal, stmt.line, var);
+        loop_stack_.push_back(LoopInfo{head, {}, {}});
+        compile_block(stmt.body);
+        const std::size_t incr =
+            emit(OpCode::kForIncr, stmt.line, iter, 0, step);
+        out_.code[incr].jump = head;
+        patch_jump(check);
+        for (auto b : loop_stack_.back().break_jumps) patch_jump(b);
+        // continue jumps go to the increment.
+        for (auto cjump : loop_stack_.back().continue_jumps) {
+          out_.code[cjump].jump = static_cast<std::int32_t>(incr);
+        }
+        loop_stack_.pop_back();
+        return;
+      }
+      case StmtKind::kReturn:
+        if (stmt.value != nullptr) {
+          compile_expr(*stmt.value);
+          emit(OpCode::kReturnValue, stmt.line);
+        } else {
+          emit(OpCode::kReturnNone, stmt.line);
+        }
+        return;
+      case StmtKind::kBreak: {
+        require<CompileError>(!loop_stack_.empty(),
+                              "'break' outside of a loop");
+        loop_stack_.back().break_jumps.push_back(
+            emit(OpCode::kJump, stmt.line));
+        return;
+      }
+      case StmtKind::kContinue: {
+        require<CompileError>(!loop_stack_.empty(),
+                              "'continue' outside of a loop");
+        // While loops continue at the head; for loops at the increment
+        // (patched when the loop closes).
+        const std::size_t j = emit(OpCode::kJump, stmt.line);
+        loop_stack_.back().continue_jumps.push_back(j);
+        out_.code[j].jump = loop_stack_.back().head;  // default: while head
+        return;
+      }
+      case StmtKind::kPass:
+        return;
+    }
+    throw CompileError("internal: unhandled statement kind");
+  }
+
+  // ---- expressions ------------------------------------------------------
+
+  void compile_expr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kIntLit:
+        emit(OpCode::kLoadConst, expr.line, add_const(Value::of(expr.int_value)));
+        return;
+      case ExprKind::kFloatLit:
+        emit(OpCode::kLoadConst, expr.line,
+             add_const(Value::of(expr.float_value)));
+        return;
+      case ExprKind::kBoolLit:
+        emit(OpCode::kLoadConst, expr.line,
+             add_const(Value::of(expr.bool_value)));
+        return;
+      case ExprKind::kNoneLit:
+        emit(OpCode::kLoadConst, expr.line, add_const(Value::none()));
+        return;
+      case ExprKind::kStringLit:
+        emit(OpCode::kLoadConst, expr.line, add_const(Value::of(expr.str_value)));
+        return;
+      case ExprKind::kName:
+        emit(OpCode::kLoadLocal, expr.line, slot_of(expr.str_value));
+        return;
+      case ExprKind::kUnary:
+        compile_expr(*expr.lhs);
+        emit(OpCode::kUnary, expr.line, static_cast<int>(expr.unary_op));
+        return;
+      case ExprKind::kBinary:
+        compile_expr(*expr.lhs);
+        compile_expr(*expr.rhs);
+        emit(OpCode::kBinary, expr.line, static_cast<int>(expr.bin_op));
+        return;
+      case ExprKind::kBoolOp: {
+        compile_expr(*expr.lhs);
+        const std::size_t shortcut = emit(
+            expr.is_and ? OpCode::kJumpIfFalseOrPop : OpCode::kJumpIfTrueOrPop,
+            expr.line);
+        compile_expr(*expr.rhs);
+        patch_jump(shortcut);
+        return;
+      }
+      case ExprKind::kCall: {
+        for (const auto& arg : expr.args) compile_expr(*arg);
+        auto it = function_index_.find(expr.str_value);
+        if (it != function_index_.end()) {
+          emit(OpCode::kCall, expr.line, it->second,
+               static_cast<int>(expr.args.size()));
+        } else {
+          emit(OpCode::kCallNamed, expr.line,
+               add_const(Value::of(expr.str_value)),
+               static_cast<int>(expr.args.size()));
+        }
+        return;
+      }
+      case ExprKind::kIndex:
+        compile_expr(*expr.lhs);
+        compile_expr(*expr.rhs);
+        emit(OpCode::kIndexLoad, expr.line);
+        return;
+    }
+    throw CompileError("internal: unhandled expression kind");
+  }
+
+  struct LoopInfo {
+    std::int32_t head;
+    std::vector<std::size_t> break_jumps;
+    std::vector<std::size_t> continue_jumps;
+  };
+
+  const FunctionDef& fn_;
+  const std::map<std::string, int>& function_index_;
+  CompiledFunction out_;
+  std::unordered_map<std::string, int> slots_;
+  std::vector<LoopInfo> loop_stack_;
+  int hidden_ = 0;
+};
+
+}  // namespace
+
+CompiledFunction compile_function(
+    const FunctionDef& fn, const std::map<std::string, int>& function_index) {
+  CompiledFunction out = FunctionCompiler(fn, function_index).compile();
+  peephole_optimize(out);
+  return out;
+}
+
+// Rewrites three hot windows into superinstructions:
+//   LoadLocal a; LoadLocal b; Binary op  -> BinaryLL(a, b, op)
+//   LoadLocal a; LoadLocal b; IndexLoad  -> IndexLoadLL(a, b)
+//   LoadLocal b; StoreLocal a            -> MovLocal(a, b)
+// A window is only fused when no jump lands on its interior instructions;
+// all jump targets are remapped afterwards.
+void peephole_optimize(CompiledFunction& fn) {
+  const auto& code = fn.code;
+  std::vector<char> is_target(code.size() + 1, 0);
+  for (const auto& instr : code) {
+    if (instr.jump >= 0) is_target[static_cast<std::size_t>(instr.jump)] = 1;
+  }
+
+  std::vector<Instr> out;
+  out.reserve(code.size());
+  // old index -> new index (size+1 for end-of-code jump targets).
+  std::vector<std::int32_t> remap(code.size() + 1, 0);
+
+  std::size_t i = 0;
+  while (i < code.size()) {
+    remap[i] = static_cast<std::int32_t>(out.size());
+    const bool i1_free = i + 1 < code.size() && !is_target[i + 1];
+    const bool i2_free = i + 2 < code.size() && !is_target[i + 2];
+    if (code[i].op == OpCode::kLoadLocal && i1_free && i2_free &&
+        code[i + 1].op == OpCode::kLoadLocal &&
+        (code[i + 2].op == OpCode::kBinary ||
+         code[i + 2].op == OpCode::kIndexLoad)) {
+      Instr fused;
+      fused.a = code[i].a;
+      fused.b = code[i + 1].a;
+      fused.line = code[i].line;
+      if (code[i + 2].op == OpCode::kBinary) {
+        fused.op = OpCode::kBinaryLL;
+        fused.c = code[i + 2].a;  // BinOp
+      } else {
+        fused.op = OpCode::kIndexLoadLL;
+      }
+      remap[i + 1] = static_cast<std::int32_t>(out.size());
+      remap[i + 2] = static_cast<std::int32_t>(out.size());
+      out.push_back(fused);
+      i += 3;
+      continue;
+    }
+    if (code[i].op == OpCode::kLoadLocal && i1_free &&
+        code[i + 1].op == OpCode::kStoreLocal) {
+      Instr fused;
+      fused.op = OpCode::kMovLocal;
+      fused.a = code[i + 1].a;
+      fused.b = code[i].a;
+      fused.line = code[i].line;
+      remap[i + 1] = static_cast<std::int32_t>(out.size());
+      out.push_back(fused);
+      i += 2;
+      continue;
+    }
+    out.push_back(code[i]);
+    ++i;
+  }
+  remap[code.size()] = static_cast<std::int32_t>(out.size());
+
+  for (auto& instr : out) {
+    if (instr.jump >= 0) {
+      instr.jump = remap[static_cast<std::size_t>(instr.jump)];
+    }
+  }
+  fn.code = std::move(out);
+
+  // Second window: LoadLocal r; <push>; Binary op; StoreLocal r
+  //             -> <push>; AugLocal(r, op)
+  // where <push> is a single jump-free value producer. Covers the augmented
+  // assignments that dominate numeric loops (res += it[i]).
+  const auto& code2 = fn.code;
+  std::vector<char> target2(code2.size() + 1, 0);
+  for (const auto& instr : code2) {
+    if (instr.jump >= 0) target2[static_cast<std::size_t>(instr.jump)] = 1;
+  }
+  auto is_pure_push = [](OpCode op) {
+    return op == OpCode::kLoadConst || op == OpCode::kLoadLocal ||
+           op == OpCode::kBinaryLL || op == OpCode::kIndexLoadLL;
+  };
+  std::vector<Instr> out2;
+  out2.reserve(code2.size());
+  std::vector<std::int32_t> remap2(code2.size() + 1, 0);
+  std::size_t j = 0;
+  while (j < code2.size()) {
+    remap2[j] = static_cast<std::int32_t>(out2.size());
+    const bool free123 = j + 3 < code2.size() && !target2[j + 1] &&
+                         !target2[j + 2] && !target2[j + 3];
+    if (free123 && code2[j].op == OpCode::kLoadLocal &&
+        is_pure_push(code2[j + 1].op) && code2[j + 2].op == OpCode::kBinary &&
+        code2[j + 3].op == OpCode::kStoreLocal &&
+        code2[j + 3].a == code2[j].a) {
+      remap2[j + 1] = static_cast<std::int32_t>(out2.size());
+      out2.push_back(code2[j + 1]);
+      Instr aug;
+      aug.op = OpCode::kAugLocal;
+      aug.a = code2[j].a;
+      aug.c = code2[j + 2].a;  // BinOp
+      aug.line = code2[j].line;
+      remap2[j + 2] = static_cast<std::int32_t>(out2.size());
+      remap2[j + 3] = static_cast<std::int32_t>(out2.size());
+      out2.push_back(aug);
+      j += 4;
+      continue;
+    }
+    out2.push_back(code2[j]);
+    ++j;
+  }
+  remap2[code2.size()] = static_cast<std::int32_t>(out2.size());
+  for (auto& instr : out2) {
+    if (instr.jump >= 0) {
+      instr.jump = remap2[static_cast<std::size_t>(instr.jump)];
+    }
+  }
+  fn.code = std::move(out2);
+}
+
+std::string CompiledFunction::disassemble() const {
+  std::string out = name + " (" + std::to_string(num_params) + " params, " +
+                    std::to_string(num_locals) + " locals)\n";
+  static const char* names[] = {
+      "LOAD_CONST",    "LOAD_LOCAL",   "STORE_LOCAL",
+      "BINARY",        "UNARY",        "JUMP",
+      "POP_JUMP_IF_FALSE", "JUMP_IF_FALSE_OR_POP", "JUMP_IF_TRUE_OR_POP",
+      "POP",           "CALL",         "CALL_NAMED",
+      "INDEX_LOAD",    "INDEX_STORE",  "FOR_CHECK",
+      "FOR_INCR",      "RETURN_VALUE", "RETURN_NONE",
+      "BINARY_LL",     "INDEX_LOAD_LL", "MOV_LOCAL",    "AUG_LOCAL"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const auto& instr = code[i];
+    out += util::cat("  ", i, ": ", names[static_cast<int>(instr.op)], " a=",
+                     instr.a, " b=", instr.b, " c=", instr.c);
+    if (instr.jump >= 0) out += util::cat(" ->", instr.jump);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace pyhpc::seamless

@@ -1,0 +1,94 @@
+// Stack bytecode for MiniPy — the middle execution tier. Still boxed
+// Values, but with slot-indexed locals, pre-resolved calls, and flat
+// dispatch instead of tree walking; roughly CPython's own architecture.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "seamless/ast.hpp"
+#include "seamless/interpreter.hpp"
+#include "seamless/value.hpp"
+
+namespace pyhpc::seamless {
+
+enum class OpCode : std::uint8_t {
+  kLoadConst,      // push consts[a]
+  kLoadLocal,      // push locals[a] (checked defined)
+  kStoreLocal,     // locals[a] = pop
+  kBinary,         // a = BinOp; rhs = pop, lhs = pop, push op(lhs, rhs)
+  kUnary,          // a = UnaryOp
+  kJump,           // pc = a
+  kPopJumpIfFalse, // v = pop; if !truthy pc = a
+  kJumpIfFalseOrPop,  // if !truthy(top) pc = a (keep); else pop
+  kJumpIfTrueOrPop,   // if truthy(top) pc = a (keep); else pop
+  kPop,
+  kCall,        // a = module function index, b = nargs
+  kCallNamed,   // a = const index of the name (string), b = nargs: builtin
+  kIndexLoad,   // index = pop, target = pop, push target[index]
+  kIndexStore,  // value = pop, index = pop, target = pop
+  kForCheck,    // a = var slot, b = stop slot, c = step slot; jump to
+                // operand `jump` when the loop is exhausted
+  kForIncr,     // a = var slot, c = step slot; jump back to `jump`
+  kReturnValue,
+  kReturnNone,
+  // Superinstructions produced by the peephole pass (fewer dispatches and
+  // stack round-trips on the hot paths):
+  kBinaryLL,     // push binop(locals[a], locals[b]); c = BinOp
+  kIndexLoadLL,  // push locals[a][ locals[b] ]
+  kMovLocal,     // locals[a] = locals[b]
+  kAugLocal,     // locals[a] = binop(locals[a], pop); c = BinOp
+};
+
+struct Instr {
+  OpCode op;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  std::int32_t jump = -1;
+  std::int32_t line = 0;
+};
+
+struct CompiledFunction {
+  std::string name;
+  int num_params = 0;
+  int num_locals = 0;
+  std::vector<Value> consts;
+  std::vector<Instr> code;
+  std::vector<std::string> local_names;  // slot -> name (diagnostics)
+
+  std::string disassemble() const;
+};
+
+/// Compiles one function; `function_index` resolves module-level calls.
+CompiledFunction compile_function(
+    const FunctionDef& fn, const std::map<std::string, int>& function_index);
+
+/// Fuses common instruction windows into superinstructions (jump-target
+/// aware; applied automatically by compile_function). Exposed for tests
+/// and the tier ablation bench.
+void peephole_optimize(CompiledFunction& fn);
+
+/// Bytecode virtual machine over a whole module.
+class VirtualMachine {
+ public:
+  explicit VirtualMachine(const Module& module);
+
+  void register_builtin(const std::string& name, BuiltinFn fn);
+
+  Value call(const std::string& name, std::vector<Value> args) const;
+
+  const CompiledFunction& compiled(const std::string& name) const;
+
+ private:
+  Value run(const CompiledFunction& fn, std::vector<Value> locals,
+            int depth) const;
+
+  std::vector<CompiledFunction> functions_;
+  std::map<std::string, int> index_;
+  std::map<std::string, BuiltinFn> builtins_;
+};
+
+}  // namespace pyhpc::seamless

@@ -1,0 +1,228 @@
+#include <cctype>
+#include <map>
+
+#include "seamless/token.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+
+namespace pyhpc::seamless {
+
+namespace {
+
+const std::map<std::string, TokenKind> kKeywords = {
+    {"def", TokenKind::kDef},       {"return", TokenKind::kReturn},
+    {"if", TokenKind::kIf},         {"elif", TokenKind::kElif},
+    {"else", TokenKind::kElse},     {"while", TokenKind::kWhile},
+    {"for", TokenKind::kFor},       {"in", TokenKind::kIn},
+    {"break", TokenKind::kBreak},   {"continue", TokenKind::kContinue},
+    {"pass", TokenKind::kPass},     {"and", TokenKind::kAnd},
+    {"or", TokenKind::kOr},         {"not", TokenKind::kNot},
+    {"True", TokenKind::kTrue},     {"False", TokenKind::kFalse},
+    {"None", TokenKind::kNone},
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw CompileError(util::cat("line ", line, ": ", msg));
+}
+
+}  // namespace
+
+std::string Token::describe() const {
+  if (!text.empty()) return text;
+  switch (kind) {
+    case TokenKind::kNewline: return "<newline>";
+    case TokenKind::kIndent: return "<indent>";
+    case TokenKind::kDedent: return "<dedent>";
+    case TokenKind::kEndOfFile: return "<eof>";
+    default: return "<token>";
+  }
+}
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> out;
+  std::vector<int> indents{0};
+  int line_no = 0;
+  std::size_t pos = 0;
+  int paren_depth = 0;  // newlines inside (...) or [...] are insignificant
+
+  auto push = [&](TokenKind kind, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line_no;
+    out.push_back(std::move(t));
+  };
+
+  while (pos < source.size()) {
+    // ---- start of a physical line: measure indentation -------------------
+    ++line_no;
+    int indent = 0;
+    while (pos < source.size() && (source[pos] == ' ' || source[pos] == '\t')) {
+      if (source[pos] == '\t') fail(line_no, "tabs are not allowed in indentation");
+      ++indent;
+      ++pos;
+    }
+    // Blank line or comment-only line: skip without emitting tokens.
+    if (pos >= source.size() || source[pos] == '\n' || source[pos] == '#') {
+      while (pos < source.size() && source[pos] != '\n') ++pos;
+      if (pos < source.size()) ++pos;  // consume '\n'
+      continue;
+    }
+    if (paren_depth == 0) {
+      if (indent > indents.back()) {
+        indents.push_back(indent);
+        push(TokenKind::kIndent);
+      } else {
+        while (indent < indents.back()) {
+          indents.pop_back();
+          push(TokenKind::kDedent);
+        }
+        if (indent != indents.back()) {
+          fail(line_no, "inconsistent dedent");
+        }
+      }
+    }
+
+    // ---- tokens on this logical line --------------------------------------
+    bool line_done = false;
+    while (!line_done) {
+      if (pos >= source.size()) break;
+      const char c = source[pos];
+      if (c == '\n') {
+        ++pos;
+        if (paren_depth == 0) {
+          push(TokenKind::kNewline);
+          line_done = true;
+        } else {
+          ++line_no;  // continuation inside brackets
+        }
+        continue;
+      }
+      if (c == ' ' || c == '\t') {
+        ++pos;
+        continue;
+      }
+      if (c == '#') {
+        while (pos < source.size() && source[pos] != '\n') ++pos;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && pos + 1 < source.size() &&
+           std::isdigit(static_cast<unsigned char>(source[pos + 1])))) {
+        const std::size_t start = pos;
+        bool is_float = false;
+        while (pos < source.size() &&
+               (std::isdigit(static_cast<unsigned char>(source[pos])) ||
+                source[pos] == '.' || source[pos] == 'e' || source[pos] == 'E' ||
+                ((source[pos] == '+' || source[pos] == '-') && pos > start &&
+                 (source[pos - 1] == 'e' || source[pos - 1] == 'E')))) {
+          if (source[pos] == '.' || source[pos] == 'e' || source[pos] == 'E') {
+            is_float = true;
+          }
+          ++pos;
+        }
+        const std::string text = source.substr(start, pos - start);
+        Token t;
+        t.line = line_no;
+        t.text = text;
+        try {
+          if (is_float) {
+            t.kind = TokenKind::kFloat;
+            t.float_value = std::stod(text);
+          } else {
+            t.kind = TokenKind::kInt;
+            t.int_value = std::stoll(text);
+          }
+        } catch (const std::exception&) {
+          fail(line_no, "bad numeric literal '" + text + "'");
+        }
+        out.push_back(std::move(t));
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        const std::size_t start = pos;
+        while (pos < source.size() &&
+               (std::isalnum(static_cast<unsigned char>(source[pos])) ||
+                source[pos] == '_')) {
+          ++pos;
+        }
+        const std::string text = source.substr(start, pos - start);
+        auto it = kKeywords.find(text);
+        if (it != kKeywords.end()) {
+          push(it->second, text);
+        } else {
+          push(TokenKind::kName, text);
+        }
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++pos;
+        std::string text;
+        while (pos < source.size() && source[pos] != quote &&
+               source[pos] != '\n') {
+          text.push_back(source[pos]);
+          ++pos;
+        }
+        if (pos >= source.size() || source[pos] != quote) {
+          fail(line_no, "unterminated string literal");
+        }
+        ++pos;
+        push(TokenKind::kString, text);
+        continue;
+      }
+      // Operators, longest first.
+      auto two = pos + 1 < source.size() ? source.substr(pos, 2) : "";
+      if (two == "**") { push(TokenKind::kDoubleStar, two); pos += 2; continue; }
+      if (two == "//") { push(TokenKind::kDoubleSlash, two); pos += 2; continue; }
+      if (two == "==") { push(TokenKind::kEqEq, two); pos += 2; continue; }
+      if (two == "!=") { push(TokenKind::kNotEq, two); pos += 2; continue; }
+      if (two == "<=") { push(TokenKind::kLe, two); pos += 2; continue; }
+      if (two == ">=") { push(TokenKind::kGe, two); pos += 2; continue; }
+      if (two == "+=") { push(TokenKind::kPlusEq, two); pos += 2; continue; }
+      if (two == "-=") { push(TokenKind::kMinusEq, two); pos += 2; continue; }
+      if (two == "*=") { push(TokenKind::kStarEq, two); pos += 2; continue; }
+      if (two == "/=") { push(TokenKind::kSlashEq, two); pos += 2; continue; }
+      switch (c) {
+        case '+': push(TokenKind::kPlus, "+"); break;
+        case '-': push(TokenKind::kMinus, "-"); break;
+        case '*': push(TokenKind::kStar, "*"); break;
+        case '/': push(TokenKind::kSlash, "/"); break;
+        case '%': push(TokenKind::kPercent, "%"); break;
+        case '=': push(TokenKind::kEq, "="); break;
+        case '<': push(TokenKind::kLt, "<"); break;
+        case '>': push(TokenKind::kGt, ">"); break;
+        case '(': push(TokenKind::kLParen, "("); ++paren_depth; break;
+        case ')': push(TokenKind::kRParen, ")"); --paren_depth; break;
+        case '[': push(TokenKind::kLBracket, "["); ++paren_depth; break;
+        case ']': push(TokenKind::kRBracket, "]"); --paren_depth; break;
+        case ',': push(TokenKind::kComma, ","); break;
+        case '@': push(TokenKind::kAt, "@"); break;
+        case ':': push(TokenKind::kColon, ":"); break;
+        default:
+          fail(line_no, util::cat("unexpected character '", std::string(1, c), "'"));
+      }
+      ++pos;
+      if (paren_depth < 0) fail(line_no, "unbalanced closing bracket");
+    }
+    if (!line_done && pos >= source.size()) {
+      // Source ended without trailing newline.
+      push(TokenKind::kNewline);
+    }
+  }
+
+  while (indents.back() > 0) {
+    indents.pop_back();
+    Token t;
+    t.kind = TokenKind::kDedent;
+    t.line = line_no;
+    out.push_back(t);
+  }
+  Token eof;
+  eof.kind = TokenKind::kEndOfFile;
+  eof.line = line_no;
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace pyhpc::seamless

@@ -1,0 +1,83 @@
+// Token stream for MiniPy — the Python subset Seamless compiles. The lexer
+// produces logical-line tokens with INDENT/DEDENT pairs, so the parser sees
+// Python's block structure directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pyhpc::seamless {
+
+enum class TokenKind {
+  // literals / identifiers
+  kInt,
+  kFloat,
+  kName,
+  kString,
+  // keywords
+  kDef,
+  kReturn,
+  kIf,
+  kElif,
+  kElse,
+  kWhile,
+  kFor,
+  kIn,
+  kBreak,
+  kContinue,
+  kPass,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  kNone,
+  // operators / punctuation
+  kPlus,
+  kMinus,
+  kStar,
+  kDoubleStar,
+  kSlash,
+  kDoubleSlash,
+  kPercent,
+  kEq,         // =
+  kPlusEq,
+  kMinusEq,
+  kStarEq,
+  kSlashEq,
+  kEqEq,
+  kNotEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kColon,
+  kAt,
+  // structure
+  kNewline,
+  kIndent,
+  kDedent,
+  kEndOfFile,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;        // raw text for names/literals
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+
+  std::string describe() const;
+};
+
+/// Tokenizes MiniPy source. Throws CompileError with line info on bad
+/// input (tabs in indentation, inconsistent dedents, unknown characters).
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace pyhpc::seamless

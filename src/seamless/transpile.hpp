@@ -1,0 +1,40 @@
+// Static compilation (§IV.B): "Rather than dynamically compiling Python
+// source to machine code via a JIT compiler, Seamless also allows the
+// static compilation of Python code to a library that can be used in
+// conjunction with other languages. This feature is intentionally similar
+// to the functionality of the Cython project [but] Seamless maintains
+// Python language compatibility."
+//
+// emit_cpp() lowers the typed-register IR (the same IR the JIT executes)
+// to a self-contained C++ translation unit exporting an extern "C"
+// function, so the output can be compiled into a shared library and used
+// from any language with a C FFI. compile_to_library() drives the system
+// C++ compiler and returns the .so path — the `seamless` command-line
+// utility's job (see tools/seamless_compile).
+#pragma once
+
+#include <string>
+
+#include "seamless/jit.hpp"
+
+namespace pyhpc::seamless {
+
+/// C++ source for one typed function. The emitted signature maps MiniPy
+/// types to C types: int -> int64_t, float -> double, bool -> int64_t,
+/// array -> (double* data, int64_t size) pairs. The function is
+/// extern "C" named `symbol`.
+std::string emit_cpp(const JitFunction& fn, const std::string& symbol);
+
+/// Convenience: compiles `module.function(name)` for `param_types` and
+/// emits the C++ translation unit.
+std::string emit_cpp(const Module& module, const std::string& name,
+                     const std::vector<JitType>& param_types,
+                     const std::string& symbol);
+
+/// Drives the system C++ compiler: writes the source next to `lib_path`
+/// and builds a shared library. Throws RuntimeFault when no compiler is
+/// available or compilation fails. Returns `lib_path`.
+std::string compile_to_library(const std::string& cpp_source,
+                               const std::string& lib_path);
+
+}  // namespace pyhpc::seamless

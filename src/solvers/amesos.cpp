@@ -1,0 +1,114 @@
+#include "solvers/amesos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pyhpc::solvers {
+
+std::vector<MatrixTriple> gather_matrix_triples(const Matrix& a) {
+  require<MapError>(a.is_fill_complete(),
+                    "gather_matrix_triples: matrix not fill-complete");
+  std::vector<MatrixTriple> mine;
+  for (std::int32_t i = 0; i < a.num_local_rows(); ++i) {
+    const std::int64_t g = a.row_map().local_to_global(i);
+    for (const auto& [c, v] : a.get_global_row(g)) {
+      mine.push_back(MatrixTriple{g, c, v});
+    }
+  }
+  auto chunks =
+      a.row_map().comm().allgatherv(std::span<const MatrixTriple>(mine));
+  std::vector<MatrixTriple> all;
+  for (const auto& chunk : chunks) {
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  return all;
+}
+
+DenseDirectSolver::DenseDirectSolver(const Matrix& a) : map_(a.row_map()) {
+  const auto n = static_cast<std::size_t>(a.row_map().num_global());
+  std::vector<double> dense(n * n, 0.0);
+  for (const auto& t : gather_matrix_triples(a)) {
+    dense[static_cast<std::size_t>(t.row) * n + static_cast<std::size_t>(t.col)] +=
+        t.val;
+  }
+  lu_ = std::make_unique<util::DenseLU>(n, std::move(dense));
+}
+
+void DenseDirectSolver::solve(const DVector& b, DVector& x) const {
+  auto bg = b.gather_global();
+  auto xg = lu_->solve(bg);
+  for (std::int32_t i = 0; i < map_.num_local(); ++i) {
+    x[i] = xg[static_cast<std::size_t>(map_.local_to_global(i))];
+  }
+}
+
+BandedDirectSolver::BandedDirectSolver(const Matrix& a) : map_(a.row_map()) {
+  n_ = a.row_map().num_global();
+  auto triples = gather_matrix_triples(a);
+  for (const auto& t : triples) {
+    band_ = std::max(band_, std::abs(t.row - t.col));
+  }
+  const std::int64_t width = 2 * band_ + 1;
+  bands_.assign(static_cast<std::size_t>(n_ * width), 0.0);
+  auto at = [&](std::int64_t i, std::int64_t j) -> double& {
+    return bands_[static_cast<std::size_t>(i * width + (j - i + band_))];
+  };
+  for (const auto& t : triples) at(t.row, t.col) += t.val;
+
+  // In-place banded LU without pivoting.
+  for (std::int64_t k = 0; k < n_; ++k) {
+    const double pivot = at(k, k);
+    require<NumericalError>(pivot != 0.0,
+                            "BandedDirectSolver: zero pivot (matrix needs "
+                            "pivoting; use the dense backend)");
+    const std::int64_t iend = std::min(n_ - 1, k + band_);
+    for (std::int64_t i = k + 1; i <= iend; ++i) {
+      const double lik = at(i, k) / pivot;
+      at(i, k) = lik;
+      const std::int64_t jend = std::min(n_ - 1, k + band_);
+      for (std::int64_t j = k + 1; j <= jend; ++j) {
+        at(i, j) -= lik * at(k, j);
+      }
+    }
+  }
+}
+
+void BandedDirectSolver::solve(const DVector& b, DVector& x) const {
+  auto y = b.gather_global();
+  const std::int64_t width = 2 * band_ + 1;
+  auto at = [&](std::int64_t i, std::int64_t j) -> double {
+    return bands_[static_cast<std::size_t>(i * width + (j - i + band_))];
+  };
+  // Forward substitution (L has unit diagonal).
+  for (std::int64_t i = 0; i < n_; ++i) {
+    const std::int64_t jbeg = std::max<std::int64_t>(0, i - band_);
+    for (std::int64_t j = jbeg; j < i; ++j) {
+      y[static_cast<std::size_t>(i)] -= at(i, j) * y[static_cast<std::size_t>(j)];
+    }
+  }
+  // Back substitution.
+  for (std::int64_t i = n_ - 1; i >= 0; --i) {
+    const std::int64_t jend = std::min(n_ - 1, i + band_);
+    for (std::int64_t j = i + 1; j <= jend; ++j) {
+      y[static_cast<std::size_t>(i)] -= at(i, j) * y[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] /= at(i, i);
+  }
+  for (std::int32_t i = 0; i < map_.num_local(); ++i) {
+    x[i] = y[static_cast<std::size_t>(map_.local_to_global(i))];
+  }
+}
+
+std::unique_ptr<DirectSolver> create_direct_solver(const std::string& kind,
+                                                   const Matrix& a) {
+  if (kind == "lapack" || kind == "dense") {
+    return std::make_unique<DenseDirectSolver>(a);
+  }
+  if (kind == "klu" || kind == "banded") {
+    return std::make_unique<BandedDirectSolver>(a);
+  }
+  throw InvalidArgument("create_direct_solver: unknown backend '" + kind +
+                        "'");
+}
+
+}  // namespace pyhpc::solvers

@@ -1,0 +1,81 @@
+// Direct solvers behind a uniform interface (Amesos analogue from Table I:
+// "Amesos — uniform interface to third party direct linear solvers").
+//
+// Like the real Amesos/KLU, the factorizations here are serial: the matrix
+// is gathered (replicated) once at construction, factored on every rank,
+// and each solve gathers the distributed RHS, solves locally, and keeps the
+// owned slice. Two "third-party" backends are provided: a dense LU
+// ("lapack") and a banded LU ("klu") that exploits bandwidth.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tpetra/crs_matrix.hpp"
+#include "tpetra/vector.hpp"
+#include "util/dense_lu.hpp"
+
+namespace pyhpc::solvers {
+
+using Matrix = tpetra::CrsMatrix<double>;
+using DVector = tpetra::Vector<double>;
+
+/// Uniform direct-solver interface.
+class DirectSolver {
+ public:
+  virtual ~DirectSolver() = default;
+
+  /// Solves A x = b (collective: gathers b, scatters nothing — every rank
+  /// solves the replicated system and keeps its owned entries).
+  virtual void solve(const DVector& b, DVector& x) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Dense gathered LU ("lapack" backend).
+class DenseDirectSolver final : public DirectSolver {
+ public:
+  explicit DenseDirectSolver(const Matrix& a);
+  void solve(const DVector& b, DVector& x) const override;
+  std::string name() const override { return "dense-lu"; }
+
+ private:
+  tpetra::Map<> map_;
+  std::unique_ptr<util::DenseLU> lu_;
+};
+
+/// Banded gathered LU without pivoting ("klu" stand-in) — requires a
+/// diagonally dominant or SPD matrix; throws NumericalError on a zero
+/// pivot. Storage is O(n * bandwidth).
+class BandedDirectSolver final : public DirectSolver {
+ public:
+  explicit BandedDirectSolver(const Matrix& a);
+  void solve(const DVector& b, DVector& x) const override;
+  std::string name() const override { return "banded-lu"; }
+
+  std::int64_t bandwidth() const { return band_; }
+
+ private:
+  tpetra::Map<> map_;
+  std::int64_t n_ = 0;
+  std::int64_t band_ = 0;  // half-bandwidth
+  // Row-major band storage: row i holds columns [i-band, i+band] in
+  // slots [0, 2*band].
+  std::vector<double> bands_;
+};
+
+/// Factory keyed by backend name: "lapack" (dense) or "klu" (banded).
+std::unique_ptr<DirectSolver> create_direct_solver(const std::string& kind,
+                                                   const Matrix& a);
+
+/// Gathers a distributed matrix into replicated (row, col, value) triples —
+/// shared by the direct solvers and the AMG coarse level. Collective.
+struct MatrixTriple {
+  std::int64_t row;
+  std::int64_t col;
+  double val;
+};
+std::vector<MatrixTriple> gather_matrix_triples(const Matrix& a);
+
+}  // namespace pyhpc::solvers

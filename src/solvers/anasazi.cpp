@@ -1,0 +1,197 @@
+#include "solvers/anasazi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pyhpc::solvers {
+
+EigenResult power_method(const tpetra::Operator<double>& a,
+                         tpetra::Vector<double>& v,
+                         const EigenOptions& options) {
+  EigenResult result;
+  v.randomize(options.seed);
+  double nrm = v.norm2();
+  require<NumericalError>(nrm > 0.0, "power_method: zero start vector");
+  v.scale(1.0 / nrm);
+
+  tpetra::Vector<double> av(a.range_map());
+  double lambda = 0.0;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    a.apply(v, av);
+    const double lambda_new = v.dot(av);  // Rayleigh quotient
+    nrm = av.norm2();
+    require<NumericalError>(nrm > 0.0, "power_method: operator annihilated v");
+    av.scale(1.0 / nrm);
+    // Residual of the eigenpair estimate: ||A v - lambda v||.
+    tpetra::Vector<double> resid(a.range_map());
+    a.apply(av, resid);
+    resid.update(-nrm, av, 1.0);  // using |lambda| ~ nrm for normalized av
+    v.update(1.0, av, 0.0);
+    result.iterations = it + 1;
+    if (std::abs(lambda_new - lambda) <=
+        options.tolerance * std::max(1.0, std::abs(lambda_new))) {
+      lambda = lambda_new;
+      result.converged = true;
+      break;
+    }
+    lambda = lambda_new;
+  }
+  result.eigenvalues = {lambda};
+  return result;
+}
+
+EigenResult inverse_iteration(const tpetra::CrsMatrix<double>& a, double shift,
+                              tpetra::Vector<double>& v,
+                              const EigenOptions& options) {
+  // Build A - shift I and factor it once.
+  tpetra::CrsMatrix<double> shifted(a.row_map());
+  for (std::int32_t i = 0; i < a.num_local_rows(); ++i) {
+    const std::int64_t g = a.row_map().local_to_global(i);
+    for (const auto& [c, val] : a.get_global_row(g)) {
+      shifted.insert_global_value(g, c, val);
+    }
+    shifted.insert_global_value(g, g, -shift);
+  }
+  shifted.fill_complete();
+  DenseDirectSolver lu(shifted);
+
+  EigenResult result;
+  v.randomize(options.seed);
+  v.scale(1.0 / v.norm2());
+  tpetra::Vector<double> w(a.range_map());
+  double mu = 0.0;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    lu.solve(v, w);  // w = (A - shift I)^-1 v
+    const double nrm = w.norm2();
+    require<NumericalError>(nrm > 0.0, "inverse_iteration: breakdown");
+    w.scale(1.0 / nrm);
+    // Rayleigh quotient with the original operator.
+    tpetra::Vector<double> aw(a.range_map());
+    a.apply(w, aw);
+    const double mu_new = w.dot(aw);
+    v.update(1.0, w, 0.0);
+    result.iterations = it + 1;
+    if (std::abs(mu_new - mu) <=
+        options.tolerance * std::max(1.0, std::abs(mu_new))) {
+      mu = mu_new;
+      result.converged = true;
+      break;
+    }
+    mu = mu_new;
+  }
+  result.eigenvalues = {mu};
+  return result;
+}
+
+std::vector<double> tridiag_eigenvalues(std::vector<double> d,
+                                        std::vector<double> e) {
+  // Implicit QL with Wilkinson shifts (Numerical-Recipes-style tqli,
+  // eigenvalues only). d has n entries; e has n-1 (padded to n internally).
+  const std::size_t n = d.size();
+  require(e.size() + 1 == n || (n == 0 && e.empty()),
+          "tridiag_eigenvalues: offdiagonal must have n-1 entries");
+  if (n == 0) return {};
+  e.push_back(0.0);
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        require<NumericalError>(iter++ < 50,
+                                "tridiag_eigenvalues: too many QL iterations");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0 ? std::abs(r) : -std::abs(r)));
+        double s = 1.0, c = 1.0, p = 0.0;
+        bool underflow_restart = false;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            // A rotation annihilated early; deflate and restart this sweep.
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            underflow_restart = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+        }
+        if (underflow_restart) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+EigenResult lanczos(const tpetra::Operator<double>& a, int nev,
+                    const EigenOptions& options, int subspace) {
+  require(nev >= 1, "lanczos: need at least one requested eigenvalue");
+  const auto n = a.domain_map().num_global();
+  int m = subspace > 0 ? subspace : nev * 4 + 20;
+  m = static_cast<int>(std::min<std::int64_t>(m, n));
+  require(m >= nev, "lanczos: subspace smaller than requested eigencount");
+
+  EigenResult result;
+  std::vector<tpetra::Vector<double>> v;
+  v.reserve(static_cast<std::size_t>(m) + 1);
+  v.emplace_back(a.domain_map());
+  v[0].randomize(options.seed);
+  v[0].scale(1.0 / v[0].norm2());
+
+  std::vector<double> alpha, beta;
+  tpetra::Vector<double> w(a.range_map());
+  for (int j = 0; j < m; ++j) {
+    a.apply(v[static_cast<std::size_t>(j)], w);
+    if (j > 0) {
+      w.update(-beta.back(), v[static_cast<std::size_t>(j) - 1], 1.0);
+    }
+    const double aj = w.dot(v[static_cast<std::size_t>(j)]);
+    alpha.push_back(aj);
+    w.update(-aj, v[static_cast<std::size_t>(j)], 1.0);
+    // Full reorthogonalization (twice is enough).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int i = 0; i <= j; ++i) {
+        const double proj = w.dot(v[static_cast<std::size_t>(i)]);
+        w.update(-proj, v[static_cast<std::size_t>(i)], 1.0);
+      }
+    }
+    const double bj = w.norm2();
+    result.iterations = j + 1;
+    if (bj <= options.tolerance || j + 1 == m) {
+      if (bj <= options.tolerance) result.converged = true;
+      break;
+    }
+    beta.push_back(bj);
+    v.emplace_back(a.domain_map());
+    v.back().update(1.0 / bj, w, 0.0);
+  }
+
+  auto eigs = tridiag_eigenvalues(alpha, beta);  // ascending
+  std::reverse(eigs.begin(), eigs.end());        // largest first
+  if (static_cast<int>(eigs.size()) > nev) {
+    eigs.resize(static_cast<std::size_t>(nev));
+  }
+  result.eigenvalues = std::move(eigs);
+  // A full-size Krylov space is exact; a truncated one is Ritz-accurate,
+  // which we still report as converged when the space was exhausted.
+  if (result.iterations == m) result.converged = true;
+  return result;
+}
+
+}  // namespace pyhpc::solvers

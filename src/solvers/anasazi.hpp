@@ -1,0 +1,50 @@
+// Eigensolvers (Anasazi analogue from Table I): power iteration, shifted
+// inverse iteration (via the Amesos direct backends), and symmetric Lanczos
+// with full reorthogonalization.
+#pragma once
+
+#include <vector>
+
+#include "solvers/amesos.hpp"
+#include "tpetra/operator.hpp"
+#include "tpetra/vector.hpp"
+
+namespace pyhpc::solvers {
+
+struct EigenResult {
+  bool converged = false;
+  int iterations = 0;
+  std::vector<double> eigenvalues;  // sorted descending by magnitude
+};
+
+struct EigenOptions {
+  double tolerance = 1e-9;
+  int max_iterations = 2000;
+  std::uint64_t seed = 42;
+};
+
+/// Power iteration: the dominant eigenvalue (largest |lambda|) and its
+/// eigenvector (returned in `v`). Collective.
+EigenResult power_method(const tpetra::Operator<double>& a,
+                         tpetra::Vector<double>& v,
+                         const EigenOptions& options = {});
+
+/// Shifted inverse iteration: the eigenvalue closest to `shift` (for
+/// shift=0, the smallest-magnitude eigenvalue). Factors (A - shift I) once
+/// with the dense direct backend.
+EigenResult inverse_iteration(const tpetra::CrsMatrix<double>& a, double shift,
+                              tpetra::Vector<double>& v,
+                              const EigenOptions& options = {});
+
+/// Symmetric Lanczos with full reorthogonalization: the `nev` extremal
+/// eigenvalues (largest algebraic first) of a symmetric operator, using a
+/// Krylov space of dimension `subspace` (defaults to min(n, 4*nev + 20)).
+EigenResult lanczos(const tpetra::Operator<double>& a, int nev,
+                    const EigenOptions& options = {}, int subspace = 0);
+
+/// Eigenvalues of a symmetric tridiagonal matrix (diag d, offdiag e) by the
+/// implicit QL algorithm; ascending order. Serial helper, exposed for tests.
+std::vector<double> tridiag_eigenvalues(std::vector<double> d,
+                                        std::vector<double> e);
+
+}  // namespace pyhpc::solvers

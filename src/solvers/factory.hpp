@@ -1,0 +1,38 @@
+// Parameter-driven solve facade — how PyTrilinos users actually configure
+// AztecOO/Ifpack/ML: build a Teuchos ParameterList and hand it to the
+// solver, rather than wiring objects manually.
+//
+//   ParameterList pl;
+//   pl.set("solver", "cg");
+//   pl.set("preconditioner", "amg");
+//   pl.sublist("krylov").set("tolerance", 1e-10);
+//   auto result = solvers::solve(a, b, x, pl);
+#pragma once
+
+#include <memory>
+
+#include "precond/preconditioner.hpp"
+#include "solvers/amesos.hpp"
+#include "solvers/krylov.hpp"
+#include "teuchos/parameter_list.hpp"
+
+namespace pyhpc::solvers {
+
+/// Builds a preconditioner from a parameter list:
+///   "preconditioner": "none" | "jacobi" | "gauss-seidel" | "sor" | "ilu0"
+///                   | "chebyshev" | "amg"
+/// AMG options come from the "amg" sublist ("max levels", "coarse size",
+/// "pre sweeps", "post sweeps", "jacobi omega", "prolongator damping").
+std::unique_ptr<precond::Preconditioner> make_preconditioner(
+    const precond::Matrix& a, const teuchos::ParameterList& params);
+
+/// One-call solve driven entirely by parameters:
+///   "solver": "cg" | "bicgstab" | "cgs" | "gmres" (iterative)
+///           | "lapack" | "klu"                    (direct)
+///   "preconditioner": as above (iterative solvers only)
+///   "krylov" sublist: "tolerance", "max iterations", "gmres restart"
+/// Direct solves report converged=true with zero iterations.
+SolveResult solve(const precond::Matrix& a, const Vector& b, Vector& x,
+                  const teuchos::ParameterList& params);
+
+}  // namespace pyhpc::solvers

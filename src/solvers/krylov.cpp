@@ -1,0 +1,345 @@
+#include "solvers/krylov.hpp"
+
+#include <cmath>
+
+#include "util/string_util.hpp"
+
+namespace pyhpc::solvers {
+
+namespace {
+
+// Applies the preconditioner, or copies when none is configured.
+void precondition(const precond::Preconditioner* m, const Vector& r,
+                  Vector& z) {
+  if (m != nullptr) {
+    m->apply(r, z);
+  } else {
+    z.update(1.0, r, 0.0);
+  }
+}
+
+void record(SolveResult& result, const KrylovOptions& options, double rel) {
+  if (options.record_history) result.residual_history.push_back(rel);
+}
+
+}  // namespace
+
+std::string SolveResult::summary() const {
+  return util::cat(converged ? "converged" : "NOT converged", " in ",
+                   iterations, " iterations, ||r||/||b|| = ",
+                   achieved_tolerance);
+}
+
+KrylovOptions KrylovOptions::from_parameters(const teuchos::ParameterList& pl) {
+  KrylovOptions o;
+  o.tolerance = pl.get_double("tolerance", o.tolerance);
+  o.max_iterations = pl.get_int("max iterations", o.max_iterations);
+  o.gmres_restart = pl.get_int("gmres restart", o.gmres_restart);
+  return o;
+}
+
+SolveResult cg_solve(const Operator& a, const Vector& b, Vector& x,
+                     const KrylovOptions& options,
+                     const precond::Preconditioner* m) {
+  SolveResult result;
+  const double bnorm = b.norm2();
+  if (bnorm == 0.0) {
+    x.put_scalar(0.0);
+    result.converged = true;
+    return result;
+  }
+
+  Vector r(b.map());
+  a.apply(x, r);
+  r.update(1.0, b, -1.0);  // r = b - A x
+  Vector z(b.map());
+  precondition(m, r, z);
+  Vector p(z.map());
+  p.update(1.0, z, 0.0);
+  Vector ap(b.map());
+
+  double rz = r.dot(z);
+  double rel = r.norm2() / bnorm;
+  record(result, options, rel);
+
+  for (int it = 0; it < options.max_iterations && rel > options.tolerance;
+       ++it) {
+    a.apply(p, ap);
+    const double pap = p.dot(ap);
+    require<NumericalError>(pap > 0.0,
+                            "CG: operator not positive definite (p'Ap <= 0)");
+    const double alpha = rz / pap;
+    x.update(alpha, p, 1.0);
+    r.update(-alpha, ap, 1.0);
+    precondition(m, r, z);
+    const double rz_new = r.dot(z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    p.update(1.0, z, beta);
+    rel = r.norm2() / bnorm;
+    result.iterations = it + 1;
+    record(result, options, rel);
+  }
+  result.converged = rel <= options.tolerance;
+  result.achieved_tolerance = rel;
+  return result;
+}
+
+SolveResult bicgstab_solve(const Operator& a, const Vector& b, Vector& x,
+                           const KrylovOptions& options,
+                           const precond::Preconditioner* m) {
+  SolveResult result;
+  const double bnorm = b.norm2();
+  if (bnorm == 0.0) {
+    x.put_scalar(0.0);
+    result.converged = true;
+    return result;
+  }
+
+  Vector r(b.map());
+  a.apply(x, r);
+  r.update(1.0, b, -1.0);
+  Vector rhat(b.map());
+  rhat.update(1.0, r, 0.0);  // fixed shadow residual
+  Vector p(b.map()), v(b.map()), s(b.map()), t(b.map());
+  Vector phat(b.map()), shat(b.map());
+
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+  double rel = r.norm2() / bnorm;
+  record(result, options, rel);
+
+  for (int it = 0; it < options.max_iterations && rel > options.tolerance;
+       ++it) {
+    const double rho_new = rhat.dot(r);
+    require<NumericalError>(rho_new != 0.0, "BiCGStab: rho breakdown");
+    if (it == 0) {
+      p.update(1.0, r, 0.0);
+    } else {
+      const double beta = (rho_new / rho) * (alpha / omega);
+      // p = r + beta (p - omega v)
+      p.update(-omega, v, 1.0);
+      p.scale(beta);
+      p.update(1.0, r, 1.0);
+    }
+    rho = rho_new;
+    precondition(m, p, phat);
+    a.apply(phat, v);
+    const double rhat_v = rhat.dot(v);
+    require<NumericalError>(rhat_v != 0.0, "BiCGStab: rhat'v breakdown");
+    alpha = rho / rhat_v;
+    s.update(1.0, r, 0.0);
+    s.update(-alpha, v, 1.0);
+    if (s.norm2() / bnorm <= options.tolerance) {
+      x.update(alpha, phat, 1.0);
+      r.update(1.0, s, 0.0);
+      rel = r.norm2() / bnorm;
+      result.iterations = it + 1;
+      record(result, options, rel);
+      break;
+    }
+    precondition(m, s, shat);
+    a.apply(shat, t);
+    const double tt = t.dot(t);
+    require<NumericalError>(tt != 0.0, "BiCGStab: t't breakdown");
+    omega = t.dot(s) / tt;
+    x.update(alpha, phat, 1.0);
+    x.update(omega, shat, 1.0);
+    r.update(1.0, s, 0.0);
+    r.update(-omega, t, 1.0);
+    rel = r.norm2() / bnorm;
+    result.iterations = it + 1;
+    record(result, options, rel);
+    require<NumericalError>(omega != 0.0, "BiCGStab: omega breakdown");
+  }
+  result.converged = rel <= options.tolerance;
+  result.achieved_tolerance = rel;
+  return result;
+}
+
+SolveResult cgs_solve(const Operator& a, const Vector& b, Vector& x,
+                      const KrylovOptions& options,
+                      const precond::Preconditioner* m) {
+  SolveResult result;
+  const double bnorm = b.norm2();
+  if (bnorm == 0.0) {
+    x.put_scalar(0.0);
+    result.converged = true;
+    return result;
+  }
+
+  Vector r(b.map());
+  a.apply(x, r);
+  r.update(1.0, b, -1.0);
+  Vector rhat(b.map());
+  rhat.update(1.0, r, 0.0);
+  Vector p(b.map()), q(b.map()), u(b.map()), vhat(b.map()), qhat(b.map());
+  Vector uq(b.map()), tmp(b.map());
+
+  double rho = 1.0;
+  double rel = r.norm2() / bnorm;
+  record(result, options, rel);
+
+  for (int it = 0; it < options.max_iterations && rel > options.tolerance;
+       ++it) {
+    const double rho_new = rhat.dot(r);
+    require<NumericalError>(rho_new != 0.0, "CGS: rho breakdown");
+    if (it == 0) {
+      u.update(1.0, r, 0.0);
+      p.update(1.0, u, 0.0);
+    } else {
+      const double beta = rho_new / rho;
+      // u = r + beta q ; p = u + beta (q + beta p_old)
+      u.update(1.0, r, 0.0);
+      u.update(beta, q, 1.0);
+      tmp.update(1.0, q, 0.0);
+      tmp.update(beta, p, 1.0);
+      p.update(1.0, u, 0.0);
+      p.update(beta, tmp, 1.0);
+    }
+    rho = rho_new;
+    precondition(m, p, vhat);
+    a.apply(vhat, tmp);  // tmp = A M^-1 p
+    const double sigma = rhat.dot(tmp);
+    require<NumericalError>(sigma != 0.0, "CGS: sigma breakdown");
+    const double alpha = rho / sigma;
+    q.update(1.0, u, 0.0);
+    q.update(-alpha, tmp, 1.0);  // q = u - alpha A vhat
+    uq.update(1.0, u, 0.0);
+    uq.update(1.0, q, 1.0);  // u + q
+    precondition(m, uq, qhat);
+    x.update(alpha, qhat, 1.0);
+    a.apply(qhat, tmp);
+    r.update(-alpha, tmp, 1.0);
+    rel = r.norm2() / bnorm;
+    result.iterations = it + 1;
+    record(result, options, rel);
+  }
+  result.converged = rel <= options.tolerance;
+  result.achieved_tolerance = rel;
+  return result;
+}
+
+SolveResult gmres_solve(const Operator& a, const Vector& b, Vector& x,
+                        const KrylovOptions& options,
+                        const precond::Preconditioner* m) {
+  SolveResult result;
+  const double bnorm = b.norm2();
+  if (bnorm == 0.0) {
+    x.put_scalar(0.0);
+    result.converged = true;
+    return result;
+  }
+  const int restart = std::max(1, options.gmres_restart);
+
+  Vector r(b.map()), w(b.map()), z(b.map());
+  double rel = 0.0;
+  int total_it = 0;
+
+  for (;;) {
+    a.apply(x, r);
+    r.update(1.0, b, -1.0);
+    double beta = r.norm2();
+    rel = beta / bnorm;
+    if (total_it == 0) record(result, options, rel);
+    if (rel <= options.tolerance || total_it >= options.max_iterations) break;
+
+    // Arnoldi with modified Gram-Schmidt; right preconditioning
+    // (solve A M^-1 (M x) = b).
+    std::vector<Vector> v;
+    v.reserve(static_cast<std::size_t>(restart) + 1);
+    v.emplace_back(b.map());
+    v[0].update(1.0 / beta, r, 0.0);
+
+    // Hessenberg in column-major (restart+1) x restart, plus Givens.
+    std::vector<std::vector<double>> h(
+        static_cast<std::size_t>(restart),
+        std::vector<double>(static_cast<std::size_t>(restart) + 1, 0.0));
+    std::vector<double> cs(static_cast<std::size_t>(restart), 0.0);
+    std::vector<double> sn(static_cast<std::size_t>(restart), 0.0);
+    std::vector<double> g(static_cast<std::size_t>(restart) + 1, 0.0);
+    g[0] = beta;
+
+    int k = 0;
+    for (; k < restart && total_it < options.max_iterations; ++k) {
+      precondition(m, v[static_cast<std::size_t>(k)], z);
+      a.apply(z, w);
+      // Modified Gram-Schmidt.
+      for (int i = 0; i <= k; ++i) {
+        const double hik = w.dot(v[static_cast<std::size_t>(i)]);
+        h[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] = hik;
+        w.update(-hik, v[static_cast<std::size_t>(i)], 1.0);
+      }
+      const double hkk = w.norm2();
+      h[static_cast<std::size_t>(k)][static_cast<std::size_t>(k) + 1] = hkk;
+
+      // Apply accumulated Givens rotations to the new column.
+      auto& col = h[static_cast<std::size_t>(k)];
+      for (int i = 0; i < k; ++i) {
+        const double t = cs[static_cast<std::size_t>(i)] * col[static_cast<std::size_t>(i)] +
+                         sn[static_cast<std::size_t>(i)] * col[static_cast<std::size_t>(i) + 1];
+        col[static_cast<std::size_t>(i) + 1] =
+            -sn[static_cast<std::size_t>(i)] * col[static_cast<std::size_t>(i)] +
+            cs[static_cast<std::size_t>(i)] * col[static_cast<std::size_t>(i) + 1];
+        col[static_cast<std::size_t>(i)] = t;
+      }
+      // New rotation to annihilate the subdiagonal.
+      const double denom = std::hypot(col[static_cast<std::size_t>(k)],
+                                      col[static_cast<std::size_t>(k) + 1]);
+      require<NumericalError>(denom != 0.0, "GMRES: Hessenberg breakdown");
+      cs[static_cast<std::size_t>(k)] = col[static_cast<std::size_t>(k)] / denom;
+      sn[static_cast<std::size_t>(k)] = col[static_cast<std::size_t>(k) + 1] / denom;
+      col[static_cast<std::size_t>(k)] = denom;
+      col[static_cast<std::size_t>(k) + 1] = 0.0;
+      g[static_cast<std::size_t>(k) + 1] = -sn[static_cast<std::size_t>(k)] * g[static_cast<std::size_t>(k)];
+      g[static_cast<std::size_t>(k)] = cs[static_cast<std::size_t>(k)] * g[static_cast<std::size_t>(k)];
+
+      ++total_it;
+      rel = std::abs(g[static_cast<std::size_t>(k) + 1]) / bnorm;
+      result.iterations = total_it;
+      record(result, options, rel);
+
+      if (hkk == 0.0 || rel <= options.tolerance) {
+        ++k;  // include this column in the update
+        break;
+      }
+      v.emplace_back(b.map());
+      v.back().update(1.0 / hkk, w, 0.0);
+    }
+
+    // Solve the k-by-k triangular system and update x.
+    std::vector<double> y(static_cast<std::size_t>(k), 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+      double acc = g[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < k; ++j) {
+        acc -= h[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] *
+               y[static_cast<std::size_t>(j)];
+      }
+      y[static_cast<std::size_t>(i)] =
+          acc / h[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+    }
+    // x += M^-1 (V y)
+    Vector vy(b.map(), 0.0);
+    for (int i = 0; i < k; ++i) {
+      vy.update(y[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)],
+                1.0);
+    }
+    precondition(m, vy, z);
+    x.update(1.0, z, 1.0);
+
+    if (rel <= options.tolerance || total_it >= options.max_iterations) break;
+  }
+
+  result.converged = rel <= options.tolerance;
+  result.achieved_tolerance = rel;
+  return result;
+}
+
+SolverFn create_solver(const std::string& kind) {
+  if (kind == "cg") return cg_solve;
+  if (kind == "bicgstab") return bicgstab_solve;
+  if (kind == "cgs") return cgs_solve;
+  if (kind == "gmres") return gmres_solve;
+  throw InvalidArgument("create_solver: unknown solver '" + kind + "'");
+}
+
+}  // namespace pyhpc::solvers

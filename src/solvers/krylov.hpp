@@ -1,0 +1,72 @@
+// Iterative Krylov-space linear solvers (AztecOO analogue from Table I):
+// CG, BiCGStab, CGS, and restarted GMRES, each with optional right/left
+// preconditioning through the precond::Preconditioner interface and a
+// convergence history for the benches.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "precond/preconditioner.hpp"
+#include "teuchos/parameter_list.hpp"
+#include "tpetra/operator.hpp"
+#include "tpetra/vector.hpp"
+
+namespace pyhpc::solvers {
+
+using Operator = tpetra::Operator<double>;
+using Vector = tpetra::Vector<double>;
+using LO = std::int32_t;
+
+/// Outcome of an iterative solve.
+struct SolveResult {
+  bool converged = false;
+  int iterations = 0;
+  double achieved_tolerance = 0.0;  // final ||r|| / ||b||
+  std::vector<double> residual_history;  // relative residual per iteration
+
+  std::string summary() const;
+};
+
+struct KrylovOptions {
+  double tolerance = 1e-8;  // on ||r|| / ||b||
+  int max_iterations = 1000;
+  int gmres_restart = 30;
+  bool record_history = true;
+
+  /// Reads "tolerance" (double), "max iterations" (int), "gmres restart"
+  /// (int) from a Teuchos-style parameter list.
+  static KrylovOptions from_parameters(const teuchos::ParameterList& pl);
+};
+
+/// Conjugate gradients; requires a symmetric positive definite operator and
+/// (when given) an SPD preconditioner.
+SolveResult cg_solve(const Operator& a, const Vector& b, Vector& x,
+                     const KrylovOptions& options = {},
+                     const precond::Preconditioner* m = nullptr);
+
+/// BiCGStab for general nonsymmetric systems.
+SolveResult bicgstab_solve(const Operator& a, const Vector& b, Vector& x,
+                           const KrylovOptions& options = {},
+                           const precond::Preconditioner* m = nullptr);
+
+/// CGS (conjugate gradient squared) for nonsymmetric systems.
+SolveResult cgs_solve(const Operator& a, const Vector& b, Vector& x,
+                      const KrylovOptions& options = {},
+                      const precond::Preconditioner* m = nullptr);
+
+/// Restarted GMRES(m) with right preconditioning.
+SolveResult gmres_solve(const Operator& a, const Vector& b, Vector& x,
+                        const KrylovOptions& options = {},
+                        const precond::Preconditioner* m = nullptr);
+
+/// Factory keyed by name ("cg", "bicgstab", "cgs", "gmres") — the AztecOO
+/// AZ_solver option analogue.
+using SolverFn = std::function<SolveResult(const Operator&, const Vector&,
+                                           Vector&, const KrylovOptions&,
+                                           const precond::Preconditioner*)>;
+SolverFn create_solver(const std::string& kind);
+
+}  // namespace pyhpc::solvers

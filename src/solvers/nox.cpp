@@ -1,0 +1,157 @@
+#include "solvers/nox.hpp"
+
+#include <cmath>
+
+#include "precond/preconditioner.hpp"
+
+namespace pyhpc::solvers {
+
+namespace {
+
+using Vec = tpetra::Vector<double>;
+
+// Armijo backtracking: finds step in {1, 1/2, 1/4, ...} with
+// ||F(x + step d)|| <= (1 - c * step) ||F(x)||; returns the accepted step
+// and leaves x updated and fnew = F(x).
+double line_search(const ResidualFn& residual, Vec& x, const Vec& d,
+                   double fnorm, Vec& fnew, const NewtonOptions& options) {
+  double step = 1.0;
+  Vec trial(x.map());
+  for (int ls = 0; ls < options.max_line_search_steps; ++ls) {
+    trial.update(1.0, x, 0.0);
+    trial.update(step, d, 1.0);
+    residual(trial, fnew);
+    if (fnew.norm2() <= (1.0 - options.armijo_c * step) * fnorm) {
+      x.update(1.0, trial, 0.0);
+      return step;
+    }
+    step *= 0.5;
+  }
+  // No sufficient decrease found; take the smallest step anyway (NOX's
+  // "take last step" recovery) so progress information isn't lost.
+  x.update(step * 2.0, d, 1.0);
+  residual(x, fnew);
+  return step * 2.0;
+}
+
+}  // namespace
+
+NewtonResult newton_solve(const ResidualFn& residual,
+                          const JacobianFn& jacobian, Vec& x,
+                          const NewtonOptions& options) {
+  NewtonResult result;
+  Vec f(x.map()), fnew(x.map());
+  residual(x, f);
+  double fnorm = f.norm2();
+  result.history.push_back(fnorm);
+
+  for (int it = 0; it < options.max_iterations && fnorm > options.tolerance;
+       ++it) {
+    auto jac = jacobian(x);
+    precond::Ilu0Preconditioner ilu(jac);
+
+    // Solve J d = -F.
+    Vec rhs(x.map());
+    rhs.update(-1.0, f, 0.0);
+    Vec d(x.map(), 0.0);
+    (void)gmres_solve(jac, rhs, d, options.linear, &ilu);
+
+    line_search(residual, x, d, fnorm, fnew, options);
+    f.update(1.0, fnew, 0.0);
+    fnorm = f.norm2();
+    result.iterations = it + 1;
+    result.history.push_back(fnorm);
+  }
+  result.converged = fnorm <= options.tolerance;
+  result.residual_norm = fnorm;
+  return result;
+}
+
+namespace {
+
+/// Matrix-free Jacobian action via forward differences.
+class FdJacobian final : public tpetra::Operator<double> {
+ public:
+  FdJacobian(const ResidualFn& residual, const Vec& x, const Vec& fx,
+             double eps_scale)
+      : residual_(residual), x_(x), fx_(fx), eps_scale_(eps_scale) {}
+
+  void apply(const Vec& v, Vec& jv) const override {
+    const double vnorm = v.norm2();
+    if (vnorm == 0.0) {
+      jv.put_scalar(0.0);
+      return;
+    }
+    const double xnorm = x_.norm2();
+    const double eps = eps_scale_ * std::max(1.0, xnorm) / vnorm;
+    Vec xp(x_.map());
+    xp.update(1.0, x_, 0.0);
+    xp.update(eps, v, 1.0);
+    Vec fp(x_.map());
+    residual_(xp, fp);
+    jv.update(1.0, fp, 0.0);
+    jv.update(-1.0, fx_, 1.0);
+    jv.scale(1.0 / eps);
+  }
+
+  const tpetra::Map<>& domain_map() const override { return x_.map(); }
+  const tpetra::Map<>& range_map() const override { return x_.map(); }
+
+ private:
+  const ResidualFn& residual_;
+  const Vec& x_;
+  const Vec& fx_;
+  double eps_scale_;
+};
+
+}  // namespace
+
+NewtonResult jfnk_solve(const ResidualFn& residual, Vec& x,
+                        const NewtonOptions& options) {
+  NewtonResult result;
+  Vec f(x.map()), fnew(x.map());
+  residual(x, f);
+  double fnorm = f.norm2();
+  result.history.push_back(fnorm);
+
+  for (int it = 0; it < options.max_iterations && fnorm > options.tolerance;
+       ++it) {
+    FdJacobian jac(residual, x, f, options.fd_epsilon);
+    Vec rhs(x.map());
+    rhs.update(-1.0, f, 0.0);
+    Vec d(x.map(), 0.0);
+    (void)gmres_solve(jac, rhs, d, options.linear, nullptr);
+
+    line_search(residual, x, d, fnorm, fnew, options);
+    f.update(1.0, fnew, 0.0);
+    fnorm = f.norm2();
+    result.iterations = it + 1;
+    result.history.push_back(fnorm);
+  }
+  result.converged = fnorm <= options.tolerance;
+  result.residual_norm = fnorm;
+  return result;
+}
+
+NewtonResult fixed_point_solve(const ResidualFn& residual, Vec& x,
+                               double damping, const NewtonOptions& options) {
+  require(damping > 0.0, "fixed_point_solve: damping must be positive");
+  NewtonResult result;
+  Vec f(x.map());
+  residual(x, f);
+  double fnorm = f.norm2();
+  result.history.push_back(fnorm);
+  for (int it = 0; it < options.max_iterations && fnorm > options.tolerance;
+       ++it) {
+    x.update(-damping, f, 1.0);
+    residual(x, f);
+    fnorm = f.norm2();
+    result.iterations = it + 1;
+    result.history.push_back(fnorm);
+  }
+  result.converged = fnorm <= options.tolerance;
+  result.residual_norm = fnorm;
+  return result;
+}
+
+}  // namespace pyhpc::solvers

@@ -1,0 +1,63 @@
+// Nonlinear solvers (NOX analogue from Table I): Newton with Armijo line
+// search over a user-supplied residual/Jacobian pair, plus a matrix-free
+// JFNK mode (Jacobian action by finite differences through GMRES) and a
+// damped fixed-point iteration.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "solvers/krylov.hpp"
+#include "tpetra/crs_matrix.hpp"
+#include "tpetra/vector.hpp"
+
+namespace pyhpc::solvers {
+
+/// Evaluates F(x) into `f` (collective; both live on the same map).
+using ResidualFn =
+    std::function<void(const tpetra::Vector<double>& x,
+                       tpetra::Vector<double>& f)>;
+
+/// Assembles the Jacobian at x (fill-complete on return).
+using JacobianFn = std::function<tpetra::CrsMatrix<double>(
+    const tpetra::Vector<double>& x)>;
+
+struct NewtonOptions {
+  double tolerance = 1e-10;        // on ||F(x)||
+  int max_iterations = 50;
+  int max_line_search_steps = 20;  // Armijo backtracking halvings
+  double armijo_c = 1e-4;
+  KrylovOptions linear;            // inner solver controls
+  /// Finite-difference epsilon scale for JFNK.
+  double fd_epsilon = 1e-7;
+};
+
+struct NewtonResult {
+  bool converged = false;
+  int iterations = 0;
+  double residual_norm = 0.0;
+  std::vector<double> history;  // ||F|| per Newton step
+};
+
+/// Newton's method with analytic Jacobian: solves F(x) = 0, updating x in
+/// place from its initial guess. The linear solve uses GMRES with an ILU(0)
+/// preconditioner built per step.
+NewtonResult newton_solve(const ResidualFn& residual,
+                          const JacobianFn& jacobian,
+                          tpetra::Vector<double>& x,
+                          const NewtonOptions& options = {});
+
+/// Jacobian-free Newton-Krylov: the Jacobian action J v is approximated by
+/// (F(x + eps v) - F(x)) / eps inside unpreconditioned GMRES.
+NewtonResult jfnk_solve(const ResidualFn& residual, tpetra::Vector<double>& x,
+                        const NewtonOptions& options = {});
+
+/// Damped fixed-point iteration x <- x - damping * F(x); converges for
+/// contractive maps and serves as the baseline the benches compare Newton
+/// against.
+NewtonResult fixed_point_solve(const ResidualFn& residual,
+                               tpetra::Vector<double>& x, double damping,
+                               const NewtonOptions& options = {});
+
+}  // namespace pyhpc::solvers

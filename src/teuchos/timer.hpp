@@ -1,0 +1,74 @@
+// Named wall-clock timers with a process-wide registry and a summary
+// table — the Teuchos Time/TimeMonitor analogue used by benches and the
+// TriUtils-style harness.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pyhpc::teuchos {
+
+/// Accumulating stopwatch.
+class Timer {
+ public:
+  explicit Timer(std::string name) : name_(std::move(name)) {}
+
+  void start();
+  void stop();
+
+  bool running() const { return running_; }
+  const std::string& name() const { return name_; }
+  double total_seconds() const { return total_; }
+  std::uint64_t count() const { return count_; }
+
+  void reset() {
+    total_ = 0.0;
+    count_ = 0;
+    running_ = false;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::string name_;
+  Clock::time_point started_{};
+  double total_ = 0.0;
+  std::uint64_t count_ = 0;
+  bool running_ = false;
+};
+
+/// RAII scope timing into a Timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer) : timer_(timer) { timer_.start(); }
+  ~ScopedTimer() { timer_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer& timer_;
+};
+
+/// Process-wide registry (TimeMonitor analogue). Thread-safe lookup;
+/// individual timers are not thread-safe and should be used per rank.
+class TimeMonitor {
+ public:
+  /// Returns the timer registered under `name`, creating it on first use.
+  static Timer& get(const std::string& name);
+
+  /// Snapshot of (name, seconds, count) sorted by name.
+  static std::vector<std::tuple<std::string, double, std::uint64_t>> summary();
+
+  /// Formats the summary as an aligned text table.
+  static std::string report();
+
+  static void reset_all();
+
+ private:
+  static std::mutex mu_;
+  static std::map<std::string, Timer> timers_;
+};
+
+}  // namespace pyhpc::teuchos

@@ -1,0 +1,263 @@
+// CrsMatrix: a distributed compressed-row sparse matrix
+// (Tpetra::CrsMatrix analogue). Rows are distributed by a one-to-one row
+// map; fill_complete() builds the column map, the local CSR structure, and
+// the Import used to ghost the needed domain entries during apply().
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "tpetra/import_export.hpp"
+#include "tpetra/map.hpp"
+#include "tpetra/operator.hpp"
+#include "tpetra/vector.hpp"
+
+namespace pyhpc::tpetra {
+
+template <class Scalar = double, class LO = std::int32_t,
+          class GO = std::int64_t>
+class CrsMatrix final : public Operator<Scalar, LO, GO> {
+ public:
+  using scalar_type = Scalar;
+  using map_type = Map<LO, GO>;
+  using vector_type = Vector<Scalar, LO, GO>;
+
+  /// Creates an empty matrix whose rows (and domain/range) follow
+  /// `row_map`, which must be one-to-one.
+  explicit CrsMatrix(const map_type& row_map) : row_map_(row_map) {
+    staging_.resize(static_cast<std::size_t>(row_map.num_local()));
+  }
+
+  const map_type& row_map() const { return row_map_; }
+  const map_type& domain_map() const override { return row_map_; }
+  const map_type& range_map() const override { return row_map_; }
+
+  /// The (overlapping) map of referenced column indices; valid after
+  /// fill_complete().
+  const map_type& col_map() const {
+    require<MapError>(fill_complete_, "col_map: call fill_complete first");
+    return *col_map_;
+  }
+
+  bool is_fill_complete() const { return fill_complete_; }
+
+  /// Stages entries into a locally owned row; duplicate column entries
+  /// accumulate. May be called repeatedly before fill_complete().
+  void insert_global_values(GO row, std::span<const GO> cols,
+                            std::span<const Scalar> vals) {
+    require<MapError>(!fill_complete_,
+                      "insert_global_values: matrix already fill-complete");
+    require(cols.size() == vals.size(),
+            "insert_global_values: cols/vals size mismatch");
+    const LO lrow = row_map_.global_to_local(row);
+    require<MapError>(lrow != kInvalidLocal<LO>,
+                      util::cat("insert_global_values: row ", row,
+                                " not owned by rank ", row_map_.rank()));
+    auto& staged = staging_[static_cast<std::size_t>(lrow)];
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      require(cols[k] >= 0 && cols[k] < row_map_.num_global(),
+              util::cat("insert_global_values: column ", cols[k],
+                        " out of range"));
+      staged[cols[k]] += vals[k];
+    }
+  }
+
+  void insert_global_value(GO row, GO col, Scalar val) {
+    insert_global_values(row, std::span<const GO>(&col, 1),
+                         std::span<const Scalar>(&val, 1));
+  }
+
+  /// Freezes the structure: builds the column map (owned columns first, in
+  /// local order, then ghosts sorted by global index), converts staged
+  /// entries to CSR, and constructs the ghost Import. Collective.
+  void fill_complete() {
+    require<MapError>(!fill_complete_, "fill_complete: called twice");
+
+    // Referenced global columns, split into locally owned and ghost.
+    std::map<GO, LO> ghost_gids;  // sorted; value filled below
+    std::vector<char> local_used(
+        static_cast<std::size_t>(row_map_.num_local()), 0);
+    for (const auto& row : staging_) {
+      for (const auto& [gcol, v] : row) {
+        const LO lid = row_map_.global_to_local(gcol);
+        if (lid != kInvalidLocal<LO>) {
+          local_used[static_cast<std::size_t>(lid)] = 1;
+        } else {
+          ghost_gids.emplace(gcol, 0);
+        }
+      }
+    }
+
+    // Column map global index list: all owned indices first (keeps owned
+    // columns addressable without translation), then sorted ghosts.
+    std::vector<GO> col_gids;
+    col_gids.reserve(static_cast<std::size_t>(row_map_.num_local()) +
+                     ghost_gids.size());
+    for (LO i = 0; i < row_map_.num_local(); ++i) {
+      col_gids.push_back(row_map_.local_to_global(i));
+    }
+    for (auto& [gid, slot] : ghost_gids) {
+      slot = static_cast<LO>(col_gids.size());
+      col_gids.push_back(gid);
+    }
+    col_map_ = std::make_shared<map_type>(map_type::from_global_indices(
+        row_map_.comm(), std::span<const GO>(col_gids)));
+
+    // CSR assembly with column-map local indices.
+    const LO nrows = row_map_.num_local();
+    row_ptr_.assign(static_cast<std::size_t>(nrows) + 1, 0);
+    for (LO i = 0; i < nrows; ++i) {
+      row_ptr_[static_cast<std::size_t>(i) + 1] =
+          row_ptr_[static_cast<std::size_t>(i)] +
+          static_cast<std::int64_t>(staging_[static_cast<std::size_t>(i)].size());
+    }
+    col_ind_.resize(static_cast<std::size_t>(row_ptr_.back()));
+    values_.resize(static_cast<std::size_t>(row_ptr_.back()));
+    for (LO i = 0; i < nrows; ++i) {
+      std::size_t k = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i)]);
+      for (const auto& [gcol, v] : staging_[static_cast<std::size_t>(i)]) {
+        const LO owned = row_map_.global_to_local(gcol);
+        col_ind_[k] = (owned != kInvalidLocal<LO>)
+                          ? owned
+                          : ghost_gids.at(gcol);
+        values_[k] = v;
+        ++k;
+      }
+    }
+    staging_.clear();
+    staging_.shrink_to_fit();
+
+    importer_ = std::make_shared<Import<LO, GO>>(row_map_, *col_map_);
+    ghost_ = std::make_shared<vector_type>(*col_map_);
+    fill_complete_ = true;
+  }
+
+  /// y := A x (collective): ghost-fill x into the column layout, then a
+  /// local CSR sweep.
+  void apply(const vector_type& x, vector_type& y) const override {
+    require<MapError>(fill_complete_, "apply: call fill_complete first");
+    ghost_->do_import(x, *importer_, CombineMode::kInsert);
+    auto xv = ghost_->local_view();
+    auto yv = y.local_view();
+    const LO nrows = row_map_.num_local();
+    for (LO i = 0; i < nrows; ++i) {
+      Scalar acc{};
+      const auto begin = row_ptr_[static_cast<std::size_t>(i)];
+      const auto end = row_ptr_[static_cast<std::size_t>(i) + 1];
+      for (auto k = begin; k < end; ++k) {
+        acc += values_[static_cast<std::size_t>(k)] *
+               xv[static_cast<std::size_t>(col_ind_[static_cast<std::size_t>(k)])];
+      }
+      yv[static_cast<std::size_t>(i)] = acc;
+    }
+  }
+
+  /// Copies the diagonal into `diag` (same map as the rows).
+  void get_local_diag_copy(vector_type& diag) const {
+    require<MapError>(fill_complete_, "get_local_diag_copy: not fill-complete");
+    auto dv = diag.local_view();
+    const LO nrows = row_map_.num_local();
+    for (LO i = 0; i < nrows; ++i) {
+      Scalar d{};
+      const GO grow = row_map_.local_to_global(i);
+      for (auto k = row_ptr_[static_cast<std::size_t>(i)];
+           k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+        const LO c = col_ind_[static_cast<std::size_t>(k)];
+        if (col_map_->local_to_global(c) == grow) {
+          d += values_[static_cast<std::size_t>(k)];
+        }
+      }
+      dv[static_cast<std::size_t>(i)] = d;
+    }
+  }
+
+  /// Scales every row i by s[i] (left scaling, A := diag(s) A).
+  void left_scale(const vector_type& s) {
+    require<MapError>(fill_complete_, "left_scale: not fill-complete");
+    auto sv = s.local_view();
+    const LO nrows = row_map_.num_local();
+    for (LO i = 0; i < nrows; ++i) {
+      for (auto k = row_ptr_[static_cast<std::size_t>(i)];
+           k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+        values_[static_cast<std::size_t>(k)] *= sv[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+
+  void scale(Scalar alpha) {
+    for (auto& v : values_) v *= alpha;
+  }
+
+  /// Global entry count (collective).
+  std::int64_t num_global_entries() const {
+    const std::int64_t local = static_cast<std::int64_t>(values_.size());
+    return row_map_.comm().allreduce_value(local, std::plus<std::int64_t>{});
+  }
+
+  LO num_local_rows() const { return row_map_.num_local(); }
+  std::int64_t num_local_entries() const {
+    return static_cast<std::int64_t>(values_.size());
+  }
+
+  /// Global Frobenius norm (collective).
+  double frobenius_norm() const {
+    double local = 0.0;
+    for (const auto& v : values_) {
+      local += static_cast<double>(v) * static_cast<double>(v);
+    }
+    return std::sqrt(row_map_.comm().allreduce_value(local, std::plus<double>{}));
+  }
+
+  /// Copies one locally owned row as (global column, value) pairs, sorted
+  /// by global column.
+  std::vector<std::pair<GO, Scalar>> get_global_row(GO row) const {
+    require<MapError>(fill_complete_, "get_global_row: not fill-complete");
+    const LO lrow = row_map_.global_to_local(row);
+    require<MapError>(lrow != kInvalidLocal<LO>, "get_global_row: row not owned");
+    std::vector<std::pair<GO, Scalar>> out;
+    for (auto k = row_ptr_[static_cast<std::size_t>(lrow)];
+         k < row_ptr_[static_cast<std::size_t>(lrow) + 1]; ++k) {
+      out.emplace_back(
+          col_map_->local_to_global(col_ind_[static_cast<std::size_t>(k)]),
+          values_[static_cast<std::size_t>(k)]);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Raw CSR access for preconditioner construction (valid after
+  /// fill_complete; column indices are column-map local ids).
+  std::span<const std::int64_t> row_ptr() const { return row_ptr_; }
+  std::span<const LO> col_ind() const { return col_ind_; }
+  std::span<const Scalar> values() const { return values_; }
+  std::span<Scalar> values_mutable() { return values_; }
+
+  /// The ghost importer (column-map fill plan).
+  const Import<LO, GO>& importer() const { return *importer_; }
+
+  /// Imports a domain vector into the column layout using the matrix's own
+  /// plan — preconditioners that need ghosted x reuse this.
+  void import_to_col_layout(const vector_type& x, vector_type& ghosted) const {
+    ghosted.do_import(x, *importer_, CombineMode::kInsert);
+  }
+
+ private:
+  map_type row_map_;
+  std::shared_ptr<map_type> col_map_;
+  // Pre-fill staging: per local row, sorted map gcol -> accumulated value.
+  std::vector<std::map<GO, Scalar>> staging_;
+  // CSR (post-fill), column indices in column-map local ids.
+  std::vector<std::int64_t> row_ptr_;
+  std::vector<LO> col_ind_;
+  std::vector<Scalar> values_;
+  std::shared_ptr<Import<LO, GO>> importer_;
+  std::shared_ptr<vector_type> ghost_;  // scratch for apply()
+  bool fill_complete_ = false;
+};
+
+}  // namespace pyhpc::tpetra

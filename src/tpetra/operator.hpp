@@ -1,0 +1,31 @@
+// Operator: the abstract distributed linear operator interface consumed by
+// the Krylov solvers and preconditioners (Tpetra::Operator analogue).
+#pragma once
+
+#include <cstdint>
+
+#include "tpetra/map.hpp"
+#include "tpetra/vector.hpp"
+
+namespace pyhpc::tpetra {
+
+template <class Scalar = double, class LO = std::int32_t,
+          class GO = std::int64_t>
+class Operator {
+ public:
+  using vector_type = Vector<Scalar, LO, GO>;
+  using map_type = Map<LO, GO>;
+
+  virtual ~Operator() = default;
+
+  /// y := A x. Collective across the operator's communicator.
+  virtual void apply(const vector_type& x, vector_type& y) const = 0;
+
+  /// The map of vectors this operator may be applied to.
+  virtual const map_type& domain_map() const = 0;
+
+  /// The map of vectors this operator produces.
+  virtual const map_type& range_map() const = 0;
+};
+
+}  // namespace pyhpc::tpetra

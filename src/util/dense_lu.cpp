@@ -1,0 +1,74 @@
+#include "util/dense_lu.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace pyhpc::util {
+
+DenseLU::DenseLU(std::size_t n, std::vector<double> a)
+    : n_(n), lu_(std::move(a)), piv_(n) {
+  require(lu_.size() == n_ * n_, "DenseLU: matrix size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) piv_[i] = i;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivot: largest |a_ik| for i >= k.
+    std::size_t p = k;
+    double best = std::abs(lu_[k * n_ + k]);
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double v = std::abs(lu_[i * n_ + k]);
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    require<NumericalError>(best > 0.0, "DenseLU: singular matrix");
+    if (p != k) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        std::swap(lu_[p * n_ + j], lu_[k * n_ + j]);
+      }
+      std::swap(piv_[p], piv_[k]);
+      det_sign_ = -det_sign_;
+    }
+    const double pivot = lu_[k * n_ + k];
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double lik = lu_[i * n_ + k] / pivot;
+      lu_[i * n_ + k] = lik;
+      for (std::size_t j = k + 1; j < n_; ++j) {
+        lu_[i * n_ + j] -= lik * lu_[k * n_ + j];
+      }
+    }
+  }
+}
+
+std::vector<double> DenseLU::solve(std::span<const double> b) const {
+  require(b.size() == n_, "DenseLU::solve: rhs size mismatch");
+  std::vector<double> x(n_);
+  // Apply the row permutation, then forward- and back-substitute.
+  for (std::size_t i = 0; i < n_; ++i) x[i] = b[piv_[i]];
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) x[i] -= lu_[i * n_ + j] * x[j];
+  }
+  for (std::size_t ii = n_; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    for (std::size_t j = i + 1; j < n_; ++j) x[i] -= lu_[i * n_ + j] * x[j];
+    x[i] /= lu_[i * n_ + i];
+  }
+  return x;
+}
+
+void DenseLU::solve_in_place(std::span<double> x) const {
+  require(x.size() == n_, "DenseLU::solve_in_place: size mismatch");
+  std::vector<double> tmp(x.begin(), x.end());
+  auto sol = solve(tmp);
+  for (std::size_t i = 0; i < n_; ++i) x[i] = sol[i];
+}
+
+double DenseLU::det() const {
+  double d = det_sign_;
+  for (std::size_t i = 0; i < n_; ++i) d *= lu_[i * n_ + i];
+  return d;
+}
+
+}  // namespace pyhpc::util

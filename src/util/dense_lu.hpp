@@ -1,0 +1,35 @@
+// Serial dense LU with partial pivoting — the kernel behind the gathered
+// direct solvers (Amesos analogue) and the AMG coarse-grid solve.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pyhpc::util {
+
+/// Row-major dense matrix factored as P A = L U on construction.
+class DenseLU {
+ public:
+  /// `a` is row-major n-by-n; throws NumericalError on a singular pivot.
+  DenseLU(std::size_t n, std::vector<double> a);
+
+  std::size_t size() const { return n_; }
+
+  /// Solves A x = b; returns x.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// In-place variant.
+  void solve_in_place(std::span<double> x) const;
+
+  /// |det A| grows/shrinks fast; exposed mainly for tests.
+  double det() const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> lu_;       // packed L (unit diag) and U
+  std::vector<std::size_t> piv_;  // row permutation
+  int det_sign_ = 1;
+};
+
+}  // namespace pyhpc::util

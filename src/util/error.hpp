@@ -1,0 +1,67 @@
+// Error types and lightweight contract checks shared by every pyhpc module.
+//
+// The library throws exceptions derived from pyhpc::Error; each module uses
+// the subclass matching the failure domain so callers can discriminate
+// (e.g. catch ShapeError from ODIN ufuncs without catching CommError).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pyhpc {
+
+/// Root of the pyhpc exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Failure inside the message-passing substrate (bad rank, truncation, ...).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+/// Distributed-object inconsistency (incompatible maps, not fill-complete...).
+class MapError : public Error {
+ public:
+  explicit MapError(const std::string& what) : Error(what) {}
+};
+
+/// ODIN array shape / distribution conformance failure.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Numerical breakdown (singular pivot, indefinite operator, ...).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Seamless front-end failure (lex/parse/type errors carry line info).
+class CompileError : public Error {
+ public:
+  explicit CompileError(const std::string& what) : Error(what) {}
+};
+
+/// Seamless runtime failure inside interpreted/compiled MiniPy code.
+class RuntimeFault : public Error {
+ public:
+  explicit RuntimeFault(const std::string& what) : Error(what) {}
+};
+
+/// Contract check: throws E with `msg` when `cond` is false.
+template <class E = InvalidArgument>
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw E(msg);
+}
+
+}  // namespace pyhpc

@@ -1,0 +1,71 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pyhpc::util {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed, std::uint64_t stream) {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Xoshiro256::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::next_double() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Xoshiro256::next_int(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "Xoshiro256::next_int: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  std::uint64_t r = next_u64();
+  while (r >= limit) r = next_u64();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Xoshiro256::next_normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  const double u2 = next_double();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double two_pi = 6.283185307179586476925286766559;
+  cached_normal_ = mag * std::sin(two_pi * u2);
+  have_cached_normal_ = true;
+  return mag * std::cos(two_pi * u2);
+}
+
+std::vector<double> uniform_doubles(std::uint64_t seed, std::uint64_t stream,
+                                    std::size_t n) {
+  Xoshiro256 rng(seed, stream);
+  std::vector<double> out(n);
+  for (auto& x : out) x = rng.next_double();
+  return out;
+}
+
+}  // namespace pyhpc::util

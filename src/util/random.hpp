@@ -1,0 +1,59 @@
+// Deterministic, splittable random number generation.
+//
+// ODIN's creation routines (odin::random) need per-rank streams that are
+// reproducible regardless of rank count; SplitMix64 seeds an Xoshiro256**
+// stream per (seed, rank) pair, mirroring the paper's "a message is sent to
+// all participating nodes to create a local section ... with a specified
+// random seed, different for each node".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pyhpc::util {
+
+/// SplitMix64: used to expand a user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the per-stream generator.
+class Xoshiro256 {
+ public:
+  /// Seeds the stream from (seed, stream) so distinct ranks get
+  /// statistically independent sequences.
+  explicit Xoshiro256(std::uint64_t seed, std::uint64_t stream = 0);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (uses two uniforms per pair).
+  double next_normal();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Fills `n` doubles uniform in [0,1) deterministically for (seed, stream).
+std::vector<double> uniform_doubles(std::uint64_t seed, std::uint64_t stream,
+                                    std::size_t n);
+
+}  // namespace pyhpc::util

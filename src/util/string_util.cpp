@@ -1,0 +1,45 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+
+namespace pyhpc::util {
+
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& text, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string strip(const std::string& text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace pyhpc::util

@@ -1,0 +1,32 @@
+// Small string helpers used for error messages and text serialization.
+// libstdc++ 12 lacks a complete <format>, so we provide what we need.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pyhpc::util {
+
+/// Concatenates the pieces with `sep` between them.
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& sep);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& text, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string strip(const std::string& text);
+
+/// True when `text` begins with `prefix`.
+bool starts_with(const std::string& text, const std::string& prefix);
+
+/// Streams every argument into one string ("cat" formatting).
+template <class... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace pyhpc::util

@@ -1,0 +1,194 @@
+// Tests for Isorropia (partitioners, rebalance) and Komplex (complex
+// algebra via real objects).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/runner.hpp"
+#include "galeri/gallery.hpp"
+#include "isorropia/partition.hpp"
+#include "komplex/komplex.hpp"
+
+namespace pc = pyhpc::comm;
+namespace gl = pyhpc::galeri;
+namespace is = pyhpc::isorropia;
+namespace kx = pyhpc::komplex;
+
+using LO = std::int32_t;
+using GO = std::int64_t;
+
+namespace {
+const std::vector<int> kRankCounts{1, 2, 3, 4};
+}
+
+class IsorropiaSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, IsorropiaSweep,
+                         ::testing::ValuesIn(kRankCounts));
+
+TEST_P(IsorropiaSweep, WeightedPartitionImprovesImbalance) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    if (comm.size() == 1) return;
+    // Start uniform but with skewed weights: first half of the indices are
+    // 10x heavier.
+    const GO n = 120;
+    auto map = is::Map::uniform(comm, n);
+    is::Vector w(map);
+    for (LO i = 0; i < map.num_local(); ++i) {
+      w[i] = map.local_to_global(i) < n / 2 ? 10.0 : 1.0;
+    }
+    const double before = is::imbalance(w);
+    auto newmap = is::partition_1d_weighted(w);
+    EXPECT_EQ(newmap.num_global(), n);
+    auto w2 = is::rebalance(w, newmap);
+    const double after = is::imbalance(w2);
+    EXPECT_LE(after, before + 1e-12);
+    EXPECT_LT(after, 1.6);  // close to balanced
+  });
+}
+
+TEST_P(IsorropiaSweep, PartitionByNonzerosCoversAllRows) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    auto map = gl::Map::uniform(comm, 50);
+    auto a = gl::laplace1d(map);
+    auto newmap = is::partition_by_nonzeros(a);
+    EXPECT_EQ(newmap.num_global(), 50);
+    const GO total = comm.allreduce_value<GO>(newmap.num_local(),
+                                              std::plus<GO>{});
+    EXPECT_EQ(total, 50);
+  });
+}
+
+TEST_P(IsorropiaSweep, RebalancePreservesValues) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    auto map = is::Map::uniform(comm, 36);
+    is::Vector v(map);
+    for (LO i = 0; i < map.num_local(); ++i) {
+      v[i] = 2.0 * static_cast<double>(map.local_to_global(i)) + 0.5;
+    }
+    // Move to a deliberately uneven map.
+    auto uneven = is::Map::from_local_sizes(
+        comm, comm.rank() == 0 ? 36 - 3 * (comm.size() - 1) : 3);
+    auto moved = is::rebalance(v, uneven);
+    for (LO i = 0; i < moved.local_size(); ++i) {
+      EXPECT_DOUBLE_EQ(
+          moved[i],
+          2.0 * static_cast<double>(uneven.local_to_global(i)) + 0.5);
+    }
+  });
+}
+
+TEST_P(IsorropiaSweep, RcbSplitsPointsEvenly) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    const GO n = 64;
+    auto map = is::Map::uniform(comm, n);
+    is::Vector x(map), y(map);
+    for (LO i = 0; i < map.num_local(); ++i) {
+      const GO g = map.local_to_global(i);
+      x[i] = static_cast<double>(g % 8);
+      y[i] = static_cast<double>(g / 8);
+    }
+    auto newmap = is::partition_rcb_2d(x, y);
+    EXPECT_EQ(newmap.num_global(), n);
+    // Leaf sizes near n/P.
+    const GO total = comm.allreduce_value<GO>(newmap.num_local(),
+                                              std::plus<GO>{});
+    EXPECT_EQ(total, n);
+    const LO mx = comm.allreduce_value<LO>(
+        newmap.num_local(), [](LO a, LO b) { return std::max(a, b); });
+    EXPECT_LE(mx, static_cast<LO>(n) / comm.size() + comm.size());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Komplex
+// ---------------------------------------------------------------------------
+
+class KomplexSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, KomplexSweep,
+                         ::testing::ValuesIn(kRankCounts));
+
+TEST_P(KomplexSweep, ComplexDotAndNorm) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    auto map = kx::Map::uniform(comm, 10);
+    kx::ComplexVector u(map), v(map);
+    for (LO i = 0; i < u.local_size(); ++i) {
+      const GO g = map.local_to_global(i);
+      u.set(i, {1.0, static_cast<double>(g)});
+      v.set(i, {static_cast<double>(g), -1.0});
+    }
+    // conj(u).v = sum (1 - i g)(g - i) = sum (g - g) + i(-1 - g^2)
+    const auto d = u.dot(v);
+    double sum_g2 = 0.0;
+    for (GO g = 0; g < 10; ++g) sum_g2 += static_cast<double>(g * g);
+    EXPECT_NEAR(d.real(), 0.0, 1e-12);
+    EXPECT_NEAR(d.imag(), -(10.0 + sum_g2), 1e-12);
+    // ||u||^2 = sum (1 + g^2).
+    EXPECT_NEAR(u.norm2(), std::sqrt(10.0 + sum_g2), 1e-12);
+  });
+}
+
+TEST_P(KomplexSweep, ComplexApplyMatchesHandComputation) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    // A = (1 + 2i) I: apply to x gives (1+2i) x element-wise.
+    auto map = kx::Map::uniform(comm, 12);
+    auto ar = gl::identity(map);
+    auto ai = gl::identity(map);
+    ai.scale(2.0);
+    kx::ComplexMatrix a(ar, ai);
+    kx::ComplexVector x(map), y(map);
+    for (LO i = 0; i < x.local_size(); ++i) x.set(i, {3.0, -1.0});
+    a.apply(x, y);
+    for (LO i = 0; i < y.local_size(); ++i) {
+      const auto z = y.get(i);  // (1+2i)(3-i) = 3 - i + 6i - 2i^2 = 5 + 5i
+      EXPECT_NEAR(z.real(), 5.0, 1e-12);
+      EXPECT_NEAR(z.imag(), 5.0, 1e-12);
+    }
+  });
+}
+
+TEST_P(KomplexSweep, EquivalentRealSolveRecoversComplexSolution) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    // A = L + i I with L the 1D Laplacian: well-conditioned, nonsymmetric
+    // in equivalent real form.
+    const GO n = 20;
+    auto map = kx::Map::uniform(comm, n);
+    auto ar = gl::laplace1d(map);
+    auto ai = gl::identity(map);
+    kx::ComplexMatrix a(ar, ai);
+
+    // Manufactured solution x*: x_g = g + i(1 - g); b = A x*.
+    kx::ComplexVector xstar(map), b(map), x(map);
+    for (LO i = 0; i < xstar.local_size(); ++i) {
+      const double g = static_cast<double>(map.local_to_global(i));
+      xstar.set(i, {g, 1.0 - g});
+    }
+    a.apply(xstar, b);
+    auto res = a.solve(b, x);
+    EXPECT_TRUE(res.converged) << res.summary();
+    x.update({-1.0, 0.0}, xstar, {1.0, 0.0});
+    EXPECT_LT(x.norm2(), 1e-5);
+  });
+}
+
+TEST(Komplex, EquivalentRealMatrixHasExpectedSize) {
+  pc::run(2, [](pc::Communicator& comm) {
+    auto map = kx::Map::uniform(comm, 8);
+    auto ar = gl::laplace1d(map);
+    auto ai = gl::identity(map);
+    kx::ComplexMatrix a(ar, ai);
+    EXPECT_EQ(a.equivalent_real_matrix().row_map().num_global(), 16);
+    // nnz = 2*nnz(Ar) + 2*nnz(Ai).
+    EXPECT_EQ(a.equivalent_real_matrix().num_global_entries(),
+              2 * ar.num_global_entries() + 2 * ai.num_global_entries());
+  });
+}
+
+TEST(Komplex, MismatchedMapsRejected) {
+  pc::run(1, [](pc::Communicator& comm) {
+    auto m1 = kx::Map::uniform(comm, 8);
+    auto m2 = kx::Map::uniform(comm, 9);
+    auto ar = gl::laplace1d(m1);
+    auto ai = gl::identity(m2);
+    EXPECT_THROW(kx::ComplexMatrix a(ar, ai), pyhpc::MapError);
+  });
+}

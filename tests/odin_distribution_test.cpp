@@ -1,0 +1,274 @@
+// Tests for ODIN Shape/Slice and Distribution: every scheme's
+// global<->local round-trip is validated property-style over rank counts,
+// sizes, and schemes (TEST_P sweeps).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "comm/runner.hpp"
+#include "odin/distribution.hpp"
+
+namespace pc = pyhpc::comm;
+namespace od = pyhpc::odin;
+using od::index_t;
+
+TEST(Shape, CountStridesLinearize) {
+  od::Shape s({3, 4, 5});
+  EXPECT_EQ(s.ndim(), 3);
+  EXPECT_EQ(s.count(), 60);
+  EXPECT_EQ(s.strides(), (std::vector<index_t>{20, 5, 1}));
+  EXPECT_EQ(s.linearize({1, 2, 3}), 33);
+  EXPECT_EQ(s.delinearize(33), (std::vector<index_t>{1, 2, 3}));
+  for (index_t l = 0; l < s.count(); ++l) {
+    EXPECT_EQ(s.linearize(s.delinearize(l)), l);
+  }
+}
+
+TEST(Shape, EmptyAndScalarish) {
+  od::Shape e({0});
+  EXPECT_EQ(e.count(), 0);
+  od::Shape one({1});
+  EXPECT_EQ(one.count(), 1);
+  EXPECT_THROW(od::Shape({-1}), pyhpc::InvalidArgument);
+  EXPECT_THROW(e.linearize({0}), pyhpc::InvalidArgument);
+}
+
+TEST(Slice, PythonSemanticsPositiveStep) {
+  // [2:8:2] over n=10 -> 2,4,6.
+  auto r = od::Slice::range(2, 8, 2).resolve(10);
+  EXPECT_EQ(r.first, 2);
+  EXPECT_EQ(r.count, 3);
+  EXPECT_EQ(r.global_of(2), 6);
+  // [:] -> everything.
+  r = od::Slice::all().resolve(7);
+  EXPECT_EQ(r.first, 0);
+  EXPECT_EQ(r.count, 7);
+  // [1:] and [:-1] (the finite-difference pair).
+  r = od::Slice::from(1).resolve(5);
+  EXPECT_EQ(r.first, 1);
+  EXPECT_EQ(r.count, 4);
+  r = od::Slice::to(-1).resolve(5);
+  EXPECT_EQ(r.first, 0);
+  EXPECT_EQ(r.count, 4);
+}
+
+TEST(Slice, PythonSemanticsNegativeIndicesAndStep) {
+  // [-3:] over 10 -> 7,8,9.
+  auto r = od::Slice::from(-3).resolve(10);
+  EXPECT_EQ(r.first, 7);
+  EXPECT_EQ(r.count, 3);
+  // [::-1] -> reversed.
+  r = od::Slice::range(od::Slice::kNone, od::Slice::kNone, -1).resolve(4);
+  EXPECT_EQ(r.first, 3);
+  EXPECT_EQ(r.count, 4);
+  EXPECT_EQ(r.global_of(3), 0);
+  // [5:0:-2] over 10 -> 5,3,1.
+  r = od::Slice::range(5, 0, -2).resolve(10);
+  EXPECT_EQ(r.first, 5);
+  EXPECT_EQ(r.count, 3);
+  // Out-of-range clamps like Python.
+  r = od::Slice::range(-100, 100, 1).resolve(6);
+  EXPECT_EQ(r.first, 0);
+  EXPECT_EQ(r.count, 6);
+  // Empty result.
+  r = od::Slice::range(4, 2, 1).resolve(10);
+  EXPECT_EQ(r.count, 0);
+  EXPECT_THROW(od::Slice::range(0, 5, 0).resolve(5), pyhpc::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Distribution property sweeps: (scheme, nranks, n) -> every global index is
+// owned exactly once and round-trips through (owner, local) <-> global.
+// ---------------------------------------------------------------------------
+
+struct DistCase {
+  std::string scheme;
+  int ranks;
+  index_t n;
+};
+
+class DistributionSweep : public ::testing::TestWithParam<DistCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, DistributionSweep,
+    ::testing::Values(
+        DistCase{"block", 1, 13}, DistCase{"block", 3, 13},
+        DistCase{"block", 4, 16}, DistCase{"block", 5, 3},
+        DistCase{"cyclic", 3, 13}, DistCase{"cyclic", 4, 4},
+        DistCase{"cyclic", 2, 1}, DistCase{"blockcyclic2", 3, 17},
+        DistCase{"blockcyclic3", 4, 25}, DistCase{"blockcyclic5", 2, 7},
+        DistCase{"explicit", 3, 12}, DistCase{"explicit", 4, 10},
+        DistCase{"replicated", 1, 9}),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      return info.param.scheme + "_p" + std::to_string(info.param.ranks) +
+             "_n" + std::to_string(info.param.n);
+    });
+
+namespace {
+od::Distribution make_dist(const std::string& scheme, pc::Communicator& comm,
+                           index_t n) {
+  od::Shape shape({n});
+  if (scheme == "block") return od::Distribution::block(comm, shape, 0);
+  if (scheme == "cyclic") return od::Distribution::cyclic(comm, shape, 0);
+  if (scheme == "blockcyclic2") {
+    return od::Distribution::block_cyclic(comm, shape, 0, 2);
+  }
+  if (scheme == "blockcyclic3") {
+    return od::Distribution::block_cyclic(comm, shape, 0, 3);
+  }
+  if (scheme == "blockcyclic5") {
+    return od::Distribution::block_cyclic(comm, shape, 0, 5);
+  }
+  if (scheme == "explicit") {
+    // Skewed sizes: rank 0 takes the remainder.
+    std::vector<index_t> sizes(static_cast<std::size_t>(comm.size()),
+                               n / comm.size());
+    sizes[0] += n % comm.size();
+    return od::Distribution::explicit_block(comm, shape, 0, sizes);
+  }
+  if (scheme == "replicated") return od::Distribution::replicated(comm, shape);
+  throw pyhpc::InvalidArgument("unknown scheme " + scheme);
+}
+}  // namespace
+
+TEST_P(DistributionSweep, EveryIndexOwnedOnceAndRoundTrips) {
+  const auto param = GetParam();
+  pc::run(param.ranks, [&](pc::Communicator& comm) {
+    auto dist = make_dist(param.scheme, comm, param.n);
+    // Ownership covers [0, n) exactly once.
+    std::set<index_t> owned_by_me;
+    for (index_t l = 0; l < dist.local_count(); ++l) {
+      const auto g = dist.global_of_local(l);
+      ASSERT_EQ(g.size(), 1u);
+      owned_by_me.insert(g[0]);
+      // Round trip: owner_of(global) == (me, l).
+      const auto [owner, lidx] = dist.owner_of(g);
+      EXPECT_EQ(owner, comm.rank());
+      EXPECT_EQ(lidx, l);
+    }
+    EXPECT_EQ(owned_by_me.size(),
+              static_cast<std::size_t>(dist.local_count()));
+    const index_t total =
+        comm.allreduce_value(dist.local_count(), std::plus<index_t>{});
+    if (param.scheme == "replicated") {
+      EXPECT_EQ(total, param.n * comm.size());
+    } else {
+      EXPECT_EQ(total, param.n);
+    }
+    // axis_count matches actual local counts on every rank.
+    for (int r = 0; r < comm.size(); ++r) {
+      EXPECT_EQ(dist.local_shape_for(r).count(),
+                param.scheme == "replicated" ? param.n
+                                             : dist.axis_count(0, r));
+    }
+  });
+}
+
+TEST(Distribution, CyclicOwnerFormula) {
+  pc::run(4, [](pc::Communicator& comm) {
+    auto d = od::Distribution::cyclic(comm, od::Shape({22}), 0);
+    for (index_t g = 0; g < 22; ++g) {
+      EXPECT_EQ(d.axis_owner(0, g), static_cast<int>(g % 4));
+      EXPECT_EQ(d.axis_local(0, g), g / 4);
+    }
+  });
+}
+
+TEST(Distribution, BlockCyclicDealsBlocks) {
+  pc::run(3, [](pc::Communicator& comm) {
+    auto d = od::Distribution::block_cyclic(comm, od::Shape({14}), 0, 2);
+    // blocks: [0,1]->r0 [2,3]->r1 [4,5]->r2 [6,7]->r0 [8,9]->r1 [10,11]->r2
+    // [12,13]->r0
+    const std::vector<int> owners{0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2, 0, 0};
+    for (index_t g = 0; g < 14; ++g) {
+      EXPECT_EQ(d.axis_owner(0, g), owners[static_cast<std::size_t>(g)]) << g;
+    }
+    // Rank 0 holds 6 elements: 0,1,6,7,12,13 in that local order.
+    if (comm.rank() == 0) {
+      EXPECT_EQ(d.local_count(), 6);
+      const std::vector<index_t> want{0, 1, 6, 7, 12, 13};
+      for (index_t l = 0; l < 6; ++l) {
+        EXPECT_EQ(d.global_of_local(l)[0], want[static_cast<std::size_t>(l)]);
+      }
+    }
+  });
+}
+
+TEST(Distribution, BlockGrid2d) {
+  pc::run(6, [](pc::Communicator& comm) {
+    // 2x3 grid over a 8x9 matrix.
+    auto d = od::Distribution::block_grid(comm, od::Shape({8, 9}), {0, 1},
+                                          {2, 3});
+    const auto lshape = d.local_shape();
+    EXPECT_EQ(lshape.extent(0), 4);
+    EXPECT_EQ(lshape.extent(1), 3);
+    // Ownership is consistent and complete.
+    const index_t total =
+        comm.allreduce_value(d.local_count(), std::plus<index_t>{});
+    EXPECT_EQ(total, 72);
+    for (index_t l = 0; l < d.local_count(); ++l) {
+      const auto g = d.global_of_local(l);
+      const auto [owner, lidx] = d.owner_of(g);
+      EXPECT_EQ(owner, comm.rank());
+      EXPECT_EQ(lidx, l);
+    }
+  });
+}
+
+TEST(Distribution, RowOnlyDistributionKeepsColumnsWhole) {
+  pc::run(3, [](pc::Communicator& comm) {
+    auto d = od::Distribution::block(comm, od::Shape({9, 5}), 0);
+    EXPECT_EQ(d.local_shape().extent(0), 3);
+    EXPECT_EQ(d.local_shape().extent(1), 5);
+    EXPECT_EQ(d.grid_dim_of_axis(0), 0);
+    EXPECT_EQ(d.grid_dim_of_axis(1), -1);
+  });
+}
+
+TEST(Distribution, ConformableDetectsLayoutDifferences) {
+  pc::run(2, [](pc::Communicator& comm) {
+    auto a = od::Distribution::block(comm, od::Shape({10}), 0);
+    auto b = od::Distribution::block(comm, od::Shape({10}), 0);
+    auto c = od::Distribution::cyclic(comm, od::Shape({10}), 0);
+    auto e = od::Distribution::block(comm, od::Shape({11}), 0);
+    EXPECT_TRUE(a.conformable(b));
+    EXPECT_FALSE(a.conformable(c));
+    EXPECT_FALSE(a.conformable(e));
+  });
+}
+
+TEST(Distribution, ExplicitSizesValidated) {
+  pc::run(2, [](pc::Communicator& comm) {
+    EXPECT_THROW(od::Distribution::explicit_block(comm, od::Shape({10}), 0,
+                                                  {4, 5}),  // sums to 9
+                 pyhpc::InvalidArgument);
+    EXPECT_THROW(
+        od::Distribution::explicit_block(comm, od::Shape({10}), 0, {11, -1}),
+        pyhpc::InvalidArgument);
+    EXPECT_THROW(
+        od::Distribution::explicit_block(comm, od::Shape({10}), 0, {10}),
+        pyhpc::InvalidArgument);
+  });
+}
+
+TEST(Distribution, GridMustCoverCommunicator) {
+  pc::run(3, [](pc::Communicator& comm) {
+    EXPECT_THROW(od::Distribution::block_grid(comm, od::Shape({6, 6}), {0, 1},
+                                              {2, 2}),  // 4 != 3
+                 pyhpc::InvalidArgument);
+  });
+}
+
+TEST(Distribution, RedistributionTargetsCoverAllElements) {
+  pc::run(3, [](pc::Communicator& comm) {
+    auto from = od::Distribution::block(comm, od::Shape({20}), 0);
+    auto to = od::Distribution::cyclic(comm, od::Shape({20}), 0);
+    auto targets = od::redistribution_targets(from, to);
+    EXPECT_EQ(targets.size(), static_cast<std::size_t>(from.local_count()));
+    for (std::size_t l = 0; l < targets.size(); ++l) {
+      const auto g = from.global_of_local(static_cast<index_t>(l));
+      EXPECT_EQ(targets[l], to.axis_owner(0, g[0]));
+    }
+  });
+}

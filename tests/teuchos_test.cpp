@@ -1,0 +1,172 @@
+// Tests for the Teuchos analogue: ParameterList typed access, hierarchy,
+// XML round-trips, and timers.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "teuchos/parameter_list.hpp"
+#include "teuchos/timer.hpp"
+#include "util/error.hpp"
+
+namespace pt = pyhpc::teuchos;
+
+TEST(ParameterList, SetAndGetScalars) {
+  pt::ParameterList pl("Solver");
+  pl.set("tolerance", 1e-8);
+  pl.set("max iterations", 500);
+  pl.set("method", "GMRES");
+  pl.set("verbose", true);
+
+  EXPECT_EQ(pl.get<double>("tolerance"), 1e-8);
+  EXPECT_EQ(pl.get<std::int64_t>("max iterations"), 500);
+  EXPECT_EQ(pl.get<std::string>("method"), "GMRES");
+  EXPECT_EQ(pl.get<bool>("verbose"), true);
+  EXPECT_EQ(pl.name(), "Solver");
+}
+
+TEST(ParameterList, GetMissingThrows) {
+  pt::ParameterList pl;
+  EXPECT_THROW(pl.get<double>("nope"), pyhpc::InvalidArgument);
+}
+
+TEST(ParameterList, GetWrongTypeThrows) {
+  pt::ParameterList pl;
+  pl.set("x", 3);
+  EXPECT_THROW(pl.get<double>("x"), pyhpc::InvalidArgument);
+  EXPECT_THROW(pl.get_or<std::string>("x", "d"), pyhpc::InvalidArgument);
+}
+
+TEST(ParameterList, GetOrUsesFallback) {
+  pt::ParameterList pl;
+  EXPECT_EQ(pl.get_int("iters", 100), 100);
+  EXPECT_EQ(pl.get_double("tol", 0.5), 0.5);
+  EXPECT_EQ(pl.get_string("pc", "none"), "none");
+  EXPECT_TRUE(pl.get_bool("flag", true));
+  pl.set("iters", 7);
+  EXPECT_EQ(pl.get_int("iters", 100), 7);
+}
+
+TEST(ParameterList, Arrays) {
+  pt::ParameterList pl;
+  pl.set("weights", std::vector<double>{0.5, 1.5, 2.5});
+  pl.set("dims", std::vector<std::int64_t>{10, 20});
+  EXPECT_EQ(pl.get<std::vector<double>>("weights").size(), 3u);
+  EXPECT_EQ(pl.get<std::vector<std::int64_t>>("dims")[1], 20);
+}
+
+TEST(ParameterList, SublistsAreHierarchical) {
+  pt::ParameterList pl("Top");
+  pl.sublist("ML").set("levels", 4);
+  pl.sublist("ML").sublist("smoother").set("type", "Jacobi");
+  EXPECT_TRUE(pl.is_sublist("ML"));
+  EXPECT_FALSE(pl.is_sublist("missing"));
+  const auto& cpl = pl;
+  EXPECT_EQ(cpl.sublist("ML").get<std::int64_t>("levels"), 4);
+  EXPECT_EQ(cpl.sublist("ML").sublist("smoother").get<std::string>("type"),
+            "Jacobi");
+}
+
+TEST(ParameterList, SublistNameCollisionWithScalarThrows) {
+  pt::ParameterList pl;
+  pl.set("x", 1);
+  EXPECT_THROW(pl.sublist("x"), pyhpc::InvalidArgument);
+}
+
+TEST(ParameterList, RemoveAndNames) {
+  pt::ParameterList pl;
+  pl.set("b", 1);
+  pl.set("a", 2);
+  EXPECT_EQ(pl.names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(pl.remove("a"));
+  EXPECT_FALSE(pl.remove("a"));
+  EXPECT_EQ(pl.size(), 1u);
+}
+
+TEST(ParameterList, XmlRoundTripAllTypes) {
+  pt::ParameterList pl("Config");
+  pl.set("tol", 1.2345678901234567e-11);
+  pl.set("iters", 42);
+  pl.set("name", "with \"quotes\" & <angles>");
+  pl.set("on", false);
+  pl.set("xs", std::vector<double>{1.5, -2.25});
+  pl.set("ns", std::vector<std::int64_t>{-1, 0, 7});
+  pl.sublist("inner").set("deep", 3.5);
+  pl.sublist("inner").sublist("deeper").set("leaf", "v");
+
+  const std::string xml = pl.to_xml();
+  pt::ParameterList back = pt::ParameterList::from_xml(xml);
+  EXPECT_TRUE(pl == back);
+  EXPECT_EQ(back.get<std::string>("name"), "with \"quotes\" & <angles>");
+  EXPECT_EQ(back.sublist("inner").sublist("deeper").get<std::string>("leaf"),
+            "v");
+}
+
+TEST(ParameterList, FromXmlRejectsGarbage) {
+  EXPECT_THROW(pt::ParameterList::from_xml("<NotAList/>"),
+               pyhpc::InvalidArgument);
+  EXPECT_THROW(pt::ParameterList::from_xml("<ParameterList name=\"x\">"),
+               pyhpc::InvalidArgument);
+  EXPECT_THROW(pt::ParameterList::from_xml(
+                   "<ParameterList name=\"x\"><Parameter name=\"a\" "
+                   "type=\"float128\" value=\"1\"/></ParameterList>"),
+               pyhpc::InvalidArgument);
+}
+
+TEST(ParameterList, EqualityDetectsDifferences) {
+  pt::ParameterList a, b;
+  a.set("x", 1);
+  b.set("x", 2);
+  EXPECT_FALSE(a == b);
+  b.set("x", 1);
+  EXPECT_TRUE(a == b);
+  b.set("y", 0.5);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Timer, AccumulatesAcrossStartStop) {
+  pt::Timer t("work");
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.stop();
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.stop();
+  EXPECT_GE(t.total_seconds(), 0.008);
+  EXPECT_EQ(t.count(), 2u);
+}
+
+TEST(Timer, DoubleStartThrows) {
+  pt::Timer t("x");
+  t.start();
+  EXPECT_THROW(t.start(), pyhpc::InvalidArgument);
+  t.stop();
+  EXPECT_THROW(t.stop(), pyhpc::InvalidArgument);
+}
+
+TEST(Timer, ScopedTimerTimesScope) {
+  pt::Timer t("scoped");
+  {
+    pt::ScopedTimer s(t);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(t.total_seconds(), 0.0);
+  EXPECT_EQ(t.count(), 1u);
+}
+
+TEST(TimeMonitor, RegistryAndReport) {
+  pt::TimeMonitor::reset_all();
+  auto& t = pt::TimeMonitor::get("solve");
+  {
+    pt::ScopedTimer s(t);
+  }
+  auto& again = pt::TimeMonitor::get("solve");
+  EXPECT_EQ(&t, &again);
+  const auto summary = pt::TimeMonitor::summary();
+  ASSERT_EQ(summary.size(), 1u);
+  EXPECT_EQ(std::get<0>(summary[0]), "solve");
+  EXPECT_EQ(std::get<2>(summary[0]), 1u);
+  const std::string report = pt::TimeMonitor::report();
+  EXPECT_NE(report.find("solve"), std::string::npos);
+  pt::TimeMonitor::reset_all();
+  EXPECT_TRUE(pt::TimeMonitor::summary().empty());
+}

@@ -1,0 +1,268 @@
+// Tests for CrsMatrix: assembly, fill_complete structure, distributed SpMV
+// against serial references, diagonal/scaling utilities, and error paths.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comm/runner.hpp"
+#include "tpetra/crs_matrix.hpp"
+
+namespace pc = pyhpc::comm;
+namespace tp = pyhpc::tpetra;
+
+using MapT = tp::Map<>;
+using MatD = tp::CrsMatrix<double>;
+using VecD = tp::Vector<double>;
+using LO = std::int32_t;
+using GO = std::int64_t;
+
+namespace {
+const std::vector<int> kRankCounts{1, 2, 3, 4, 6};
+
+// Assembles the 1D Laplacian stencil [-1, 2, -1] (Dirichlet) on `map`.
+MatD laplace1d(const MapT& map) {
+  MatD a(map);
+  const GO n = map.num_global();
+  for (LO i = 0; i < map.num_local(); ++i) {
+    const GO g = map.local_to_global(i);
+    std::vector<GO> cols;
+    std::vector<double> vals;
+    if (g > 0) {
+      cols.push_back(g - 1);
+      vals.push_back(-1.0);
+    }
+    cols.push_back(g);
+    vals.push_back(2.0);
+    if (g + 1 < n) {
+      cols.push_back(g + 1);
+      vals.push_back(-1.0);
+    }
+    a.insert_global_values(g, cols, vals);
+  }
+  a.fill_complete();
+  return a;
+}
+}  // namespace
+
+class CrsRankSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, CrsRankSweep, ::testing::ValuesIn(kRankCounts));
+
+TEST_P(CrsRankSweep, Laplace1dStructure) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    const GO n = 32;
+    auto map = MapT::uniform(comm, n);
+    auto a = laplace1d(map);
+    EXPECT_TRUE(a.is_fill_complete());
+    EXPECT_EQ(a.num_global_entries(), 3 * n - 2);
+    // Row contents match the stencil.
+    for (LO i = 0; i < map.num_local(); ++i) {
+      const GO g = map.local_to_global(i);
+      auto row = a.get_global_row(g);
+      std::size_t expect = 3;
+      if (g == 0 || g == n - 1) expect = 2;
+      EXPECT_EQ(row.size(), expect);
+      for (const auto& [col, val] : row) {
+        if (col == g) {
+          EXPECT_DOUBLE_EQ(val, 2.0);
+        } else {
+          EXPECT_DOUBLE_EQ(val, -1.0);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CrsRankSweep, SpmvMatchesSerialStencil) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    const GO n = 50;
+    auto map = MapT::uniform(comm, n);
+    auto a = laplace1d(map);
+    VecD x(map), y(map);
+    for (LO i = 0; i < map.num_local(); ++i) {
+      const GO g = map.local_to_global(i);
+      x[i] = static_cast<double>(g) * static_cast<double>(g);  // x = g^2
+    }
+    a.apply(x, y);
+    // (Ax)_g = -（g-1)^2 + 2g^2 - (g+1)^2 = -2 for interior rows.
+    for (LO i = 0; i < map.num_local(); ++i) {
+      const GO g = map.local_to_global(i);
+      double want = -2.0;
+      if (g == 0) want = 2.0 * 0.0 - 1.0;                  // 2*0 - 1^2
+      if (g == n - 1) {
+        const double gm = static_cast<double>(n - 2);
+        const double gg = static_cast<double>(n - 1);
+        want = -gm * gm + 2.0 * gg * gg;
+      }
+      EXPECT_NEAR(y[i], want, 1e-10) << "row " << g;
+    }
+  });
+}
+
+TEST_P(CrsRankSweep, SpmvMatchesGatheredDenseReference) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    // Random-ish sparse matrix with deterministic entries, checked against
+    // a dense serial multiply of the gathered matrix.
+    const GO n = 22;
+    auto map = MapT::uniform(comm, n);
+    MatD a(map);
+    for (LO i = 0; i < map.num_local(); ++i) {
+      const GO g = map.local_to_global(i);
+      for (GO c = 0; c < n; ++c) {
+        if ((g * 7 + c * 3) % 5 == 0) {
+          a.insert_global_value(g, c, static_cast<double>(g - c) + 0.5);
+        }
+      }
+    }
+    a.fill_complete();
+
+    VecD x(map), y(map);
+    for (LO i = 0; i < map.num_local(); ++i) {
+      x[i] = 0.1 * static_cast<double>(map.local_to_global(i)) - 1.0;
+    }
+    a.apply(x, y);
+
+    auto xg = x.gather_global();
+    auto yg = y.gather_global();
+    for (GO r = 0; r < n; ++r) {
+      double want = 0.0;
+      for (GO c = 0; c < n; ++c) {
+        if ((r * 7 + c * 3) % 5 == 0) {
+          want += (static_cast<double>(r - c) + 0.5) *
+                  xg[static_cast<std::size_t>(c)];
+        }
+      }
+      EXPECT_NEAR(yg[static_cast<std::size_t>(r)], want, 1e-10);
+    }
+  });
+}
+
+TEST_P(CrsRankSweep, DuplicateInsertionsAccumulate) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    auto map = MapT::uniform(comm, 8);
+    MatD a(map);
+    for (LO i = 0; i < map.num_local(); ++i) {
+      const GO g = map.local_to_global(i);
+      a.insert_global_value(g, g, 1.0);
+      a.insert_global_value(g, g, 2.5);  // same entry again
+    }
+    a.fill_complete();
+    VecD d(map);
+    a.get_local_diag_copy(d);
+    for (LO i = 0; i < map.num_local(); ++i) {
+      EXPECT_DOUBLE_EQ(d[i], 3.5);
+    }
+  });
+}
+
+TEST_P(CrsRankSweep, DiagCopyLeftScaleAndFrobenius) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    const GO n = 16;
+    auto map = MapT::uniform(comm, n);
+    MatD a(map);
+    for (LO i = 0; i < map.num_local(); ++i) {
+      const GO g = map.local_to_global(i);
+      a.insert_global_value(g, g, static_cast<double>(g + 1));
+    }
+    a.fill_complete();
+
+    VecD d(map);
+    a.get_local_diag_copy(d);
+    for (LO i = 0; i < map.num_local(); ++i) {
+      EXPECT_DOUBLE_EQ(d[i], static_cast<double>(map.local_to_global(i) + 1));
+    }
+
+    // Frobenius of diag(1..n): sqrt(sum k^2).
+    double want = 0.0;
+    for (GO k = 1; k <= n; ++k) {
+      want += static_cast<double>(k) * static_cast<double>(k);
+    }
+    EXPECT_NEAR(a.frobenius_norm(), std::sqrt(want), 1e-10);
+
+    // Left-scale by 1/diag -> identity.
+    VecD inv(map);
+    inv.reciprocal(d);
+    a.left_scale(inv);
+    VecD x(map, 2.0), y(map);
+    a.apply(x, y);
+    for (LO i = 0; i < map.num_local(); ++i) {
+      EXPECT_DOUBLE_EQ(y[i], 2.0);
+    }
+  });
+}
+
+TEST_P(CrsRankSweep, ScaleMultipliesAllValues) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    auto map = MapT::uniform(comm, 10);
+    auto a = laplace1d(map);
+    a.scale(-0.5);
+    VecD x(map, 1.0), y(map);
+    a.apply(x, y);
+    // Laplacian row sums: 0 interior, 1 at ends; scaled by -0.5.
+    for (LO i = 0; i < map.num_local(); ++i) {
+      const GO g = map.local_to_global(i);
+      const double want = (g == 0 || g == 9) ? -0.5 : 0.0;
+      EXPECT_NEAR(y[i], want, 1e-12);
+    }
+  });
+}
+
+TEST(Crs, InsertAfterFillCompleteThrows) {
+  pc::run(1, [](pc::Communicator& comm) {
+    auto map = MapT::uniform(comm, 4);
+    MatD a(map);
+    a.insert_global_value(0, 0, 1.0);
+    a.fill_complete();
+    EXPECT_THROW(a.insert_global_value(1, 1, 1.0), pyhpc::MapError);
+    EXPECT_THROW(a.fill_complete(), pyhpc::MapError);
+  });
+}
+
+TEST(Crs, InsertIntoForeignRowThrows) {
+  pc::run(2, [](pc::Communicator& comm) {
+    auto map = MapT::uniform(comm, 8);
+    MatD a(map);
+    const GO foreign = comm.rank() == 0 ? 7 : 0;
+    EXPECT_THROW(a.insert_global_value(foreign, 0, 1.0), pyhpc::MapError);
+  });
+}
+
+TEST(Crs, ColumnOutOfRangeThrows) {
+  pc::run(1, [](pc::Communicator& comm) {
+    auto map = MapT::uniform(comm, 4);
+    MatD a(map);
+    EXPECT_THROW(a.insert_global_value(0, 99, 1.0), pyhpc::InvalidArgument);
+    EXPECT_THROW(a.insert_global_value(0, -1, 1.0), pyhpc::InvalidArgument);
+  });
+}
+
+TEST(Crs, ApplyBeforeFillCompleteThrows) {
+  pc::run(1, [](pc::Communicator& comm) {
+    auto map = MapT::uniform(comm, 4);
+    MatD a(map);
+    VecD x(map), y(map);
+    EXPECT_THROW(a.apply(x, y), pyhpc::MapError);
+  });
+}
+
+TEST_P(CrsRankSweep, ColMapOrdersOwnedThenGhost) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    const GO n = 24;
+    auto map = MapT::uniform(comm, n);
+    auto a = laplace1d(map);
+    const auto& cmap = a.col_map();
+    // First num_local entries mirror the row map.
+    for (LO i = 0; i < map.num_local(); ++i) {
+      EXPECT_EQ(cmap.local_to_global(i), map.local_to_global(i));
+    }
+    // Remaining entries are ghosts: not locally owned, sorted.
+    GO prev = -1;
+    for (LO i = map.num_local(); i < cmap.num_local(); ++i) {
+      const GO g = cmap.local_to_global(i);
+      EXPECT_FALSE(map.is_local_global_index(g));
+      EXPECT_GT(g, prev);
+      prev = g;
+    }
+    // 1D Laplacian ghosts: at most 2 (one per side).
+    EXPECT_LE(cmap.num_local() - map.num_local(), 2);
+  });
+}

@@ -1,0 +1,174 @@
+// Tests for util: RNG determinism and distribution sanity, string helpers,
+// error contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+#include "util/string_util.hpp"
+
+namespace pu = pyhpc::util;
+
+TEST(Random, DeterministicForSameSeedAndStream) {
+  pu::Xoshiro256 a(42, 3);
+  pu::Xoshiro256 b(42, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Random, StreamsDiffer) {
+  pu::Xoshiro256 a(42, 0);
+  pu::Xoshiro256 b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Random, DoublesInUnitInterval) {
+  pu::Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Random, DoublesRoughlyUniform) {
+  pu::Xoshiro256 rng(1234);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Random, IntRangeInclusive) {
+  pu::Xoshiro256 rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Random, IntRangeRejectsInverted) {
+  pu::Xoshiro256 rng(5);
+  EXPECT_THROW(rng.next_int(3, 1), pyhpc::InvalidArgument);
+}
+
+TEST(Random, NormalHasUnitVarianceRoughly) {
+  pu::Xoshiro256 rng(77);
+  const int n = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Random, UniformDoublesHelperMatchesGenerator) {
+  auto v = pu::uniform_doubles(9, 2, 16);
+  pu::Xoshiro256 rng(9, 2);
+  for (double x : v) EXPECT_EQ(x, rng.next_double());
+}
+
+TEST(StringUtil, JoinAndSplitRoundTrip) {
+  std::vector<std::string> parts{"a", "bb", "", "ccc"};
+  EXPECT_EQ(pu::join(parts, ","), "a,bb,,ccc");
+  EXPECT_EQ(pu::split("a,bb,,ccc", ','), parts);
+}
+
+TEST(StringUtil, SplitSingleField) {
+  EXPECT_EQ(pu::split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(pu::split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtil, Strip) {
+  EXPECT_EQ(pu::strip("  hi \t\n"), "hi");
+  EXPECT_EQ(pu::strip(""), "");
+  EXPECT_EQ(pu::strip("   "), "");
+  EXPECT_EQ(pu::strip("x"), "x");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(pu::starts_with("seamless", "seam"));
+  EXPECT_FALSE(pu::starts_with("odin", "odin4"));
+  EXPECT_TRUE(pu::starts_with("anything", ""));
+}
+
+TEST(StringUtil, CatFormatsMixedTypes) {
+  EXPECT_EQ(pu::cat("rank ", 3, " of ", 8), "rank 3 of 8");
+}
+
+TEST(Error, RequireThrowsRequestedType) {
+  EXPECT_NO_THROW(pyhpc::require(true, "fine"));
+  EXPECT_THROW(pyhpc::require(false, "nope"), pyhpc::InvalidArgument);
+  EXPECT_THROW(pyhpc::require<pyhpc::ShapeError>(false, "bad shape"),
+               pyhpc::ShapeError);
+}
+
+TEST(Error, HierarchyCatchableAsBase) {
+  try {
+    throw pyhpc::CommError("boom");
+  } catch (const pyhpc::Error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+#include "util/dense_lu.hpp"
+
+TEST(DenseLU, SolvesKnownSystem) {
+  // A = [[2,1],[1,3]], b = [5, 10] -> x = [1, 3].
+  pu::DenseLU lu(2, {2.0, 1.0, 1.0, 3.0});
+  auto x = lu.solve(std::vector<double>{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(lu.det(), 5.0, 1e-12);
+}
+
+TEST(DenseLU, PivotingHandlesZeroLeadingEntry) {
+  // Leading zero forces a row swap.
+  pu::DenseLU lu(2, {0.0, 1.0, 1.0, 0.0});
+  auto x = lu.solve(std::vector<double>{3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(lu.det(), -1.0, 1e-12);
+}
+
+TEST(DenseLU, SingularThrows) {
+  EXPECT_THROW(pu::DenseLU(2, {1.0, 2.0, 2.0, 4.0}), pyhpc::NumericalError);
+}
+
+TEST(DenseLU, RandomSystemResidualSmall) {
+  const std::size_t n = 20;
+  pu::Xoshiro256 rng(11);
+  std::vector<double> a(n * n);
+  for (auto& v : a) v = rng.next_double() - 0.5;
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] += 5.0;  // well-conditioned
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.next_double();
+  pu::DenseLU lu(n, a);
+  auto x = lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += a[i * n + j] * x[j];
+    EXPECT_NEAR(acc, b[i], 1e-9);
+  }
+}
+
+TEST(DenseLU, SizeMismatchRejected) {
+  EXPECT_THROW(pu::DenseLU(3, {1.0, 2.0}), pyhpc::InvalidArgument);
+  pu::DenseLU lu(1, {2.0});
+  EXPECT_THROW((void)lu.solve(std::vector<double>{1.0, 2.0}),
+               pyhpc::InvalidArgument);
+}

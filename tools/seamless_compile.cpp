@@ -1,0 +1,63 @@
+// The `seamless` command-line utility (paper §IV.B): "One would use the
+// seamless command line utility to generate the extension module."
+//
+// Usage:
+//   seamless_compile <source.py> <function> <sig> [out.so]
+//
+// <sig> is a comma-separated parameter type list using i (int), f (float),
+// b (bool), a (float64 array). With no output path the generated C++ is
+// printed to stdout; with one, a shared library is built.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "seamless/transpile.hpp"
+#include "util/string_util.hpp"
+
+namespace sm = pyhpc::seamless;
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <source.py> <function> <sig: e.g. a,f,i> "
+                 "[out.so]\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    std::ifstream in(argv[1]);
+    if (!in.good()) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    auto module = sm::parse(ss.str());
+
+    std::vector<sm::JitType> types;
+    for (const auto& tok : pyhpc::util::split(argv[3], ',')) {
+      const std::string t = pyhpc::util::strip(tok);
+      if (t == "i") types.push_back(sm::JitType::kInt);
+      else if (t == "f") types.push_back(sm::JitType::kFloat);
+      else if (t == "b") types.push_back(sm::JitType::kBool);
+      else if (t == "a") types.push_back(sm::JitType::kArray);
+      else {
+        std::fprintf(stderr, "unknown type '%s' (use i/f/b/a)\n", t.c_str());
+        return 1;
+      }
+    }
+
+    const std::string cpp = sm::emit_cpp(module, argv[2], types, argv[2]);
+    if (argc >= 5) {
+      sm::compile_to_library(cpp, argv[4]);
+      std::printf("wrote %s (extern \"C\" symbol: %s)\n", argv[4], argv[2]);
+    } else {
+      std::cout << cpp;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "seamless: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
