@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_hypot.dir/bench_e1_hypot.cpp.o"
+  "CMakeFiles/bench_e1_hypot.dir/bench_e1_hypot.cpp.o.d"
+  "bench_e1_hypot"
+  "bench_e1_hypot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_hypot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_ufunc.dir/bench_e2_ufunc.cpp.o"
+  "CMakeFiles/bench_e2_ufunc.dir/bench_e2_ufunc.cpp.o.d"
+  "bench_e2_ufunc"
+  "bench_e2_ufunc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_ufunc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_findiff.dir/bench_e3_findiff.cpp.o"
+  "CMakeFiles/bench_e3_findiff.dir/bench_e3_findiff.cpp.o.d"
+  "bench_e3_findiff"
+  "bench_e3_findiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_findiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

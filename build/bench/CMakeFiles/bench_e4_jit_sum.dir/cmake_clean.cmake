@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_jit_sum.dir/bench_e4_jit_sum.cpp.o"
+  "CMakeFiles/bench_e4_jit_sum.dir/bench_e4_jit_sum.cpp.o.d"
+  "bench_e4_jit_sum"
+  "bench_e4_jit_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_jit_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_ffi.dir/bench_e5_ffi.cpp.o"
+  "CMakeFiles/bench_e5_ffi.dir/bench_e5_ffi.cpp.o.d"
+  "bench_e5_ffi"
+  "bench_e5_ffi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_ffi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_embed.dir/bench_e6_embed.cpp.o"
+  "CMakeFiles/bench_e6_embed.dir/bench_e6_embed.cpp.o.d"
+  "bench_e6_embed"
+  "bench_e6_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

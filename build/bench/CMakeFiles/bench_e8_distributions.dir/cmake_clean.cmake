@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_distributions.dir/bench_e8_distributions.cpp.o"
+  "CMakeFiles/bench_e8_distributions.dir/bench_e8_distributions.cpp.o.d"
+  "bench_e8_distributions"
+  "bench_e8_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

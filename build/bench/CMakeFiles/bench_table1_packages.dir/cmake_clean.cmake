@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_packages.dir/bench_table1_packages.cpp.o"
+  "CMakeFiles/bench_table1_packages.dir/bench_table1_packages.cpp.o.d"
+  "bench_table1_packages"
+  "bench_table1_packages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_packages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat1d.dir/heat1d.cpp.o"
+  "CMakeFiles/heat1d.dir/heat1d.cpp.o.d"
+  "heat1d"
+  "heat1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_kernel.dir/jit_kernel.cpp.o"
+  "CMakeFiles/jit_kernel.dir/jit_kernel.cpp.o.d"
+  "jit_kernel"
+  "jit_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

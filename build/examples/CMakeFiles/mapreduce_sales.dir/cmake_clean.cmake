@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_sales.dir/mapreduce_sales.cpp.o"
+  "CMakeFiles/mapreduce_sales.dir/mapreduce_sales.cpp.o.d"
+  "mapreduce_sales"
+  "mapreduce_sales.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_sales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

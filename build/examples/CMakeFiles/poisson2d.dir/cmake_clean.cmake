@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson2d.dir/poisson2d.cpp.o"
+  "CMakeFiles/poisson2d.dir/poisson2d.cpp.o.d"
+  "poisson2d"
+  "poisson2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

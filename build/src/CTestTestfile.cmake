@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("comm")
+subdirs("teuchos")
+subdirs("tpetra")
+subdirs("epetraext")
+subdirs("galeri")
+subdirs("isorropia")
+subdirs("precond")
+subdirs("solvers")
+subdirs("komplex")
+subdirs("odin")
+subdirs("seamless")

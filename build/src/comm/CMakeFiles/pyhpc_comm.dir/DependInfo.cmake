@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/communicator.cpp" "src/comm/CMakeFiles/pyhpc_comm.dir/communicator.cpp.o" "gcc" "src/comm/CMakeFiles/pyhpc_comm.dir/communicator.cpp.o.d"
+  "/root/repo/src/comm/context.cpp" "src/comm/CMakeFiles/pyhpc_comm.dir/context.cpp.o" "gcc" "src/comm/CMakeFiles/pyhpc_comm.dir/context.cpp.o.d"
+  "/root/repo/src/comm/mailbox.cpp" "src/comm/CMakeFiles/pyhpc_comm.dir/mailbox.cpp.o" "gcc" "src/comm/CMakeFiles/pyhpc_comm.dir/mailbox.cpp.o.d"
+  "/root/repo/src/comm/runner.cpp" "src/comm/CMakeFiles/pyhpc_comm.dir/runner.cpp.o" "gcc" "src/comm/CMakeFiles/pyhpc_comm.dir/runner.cpp.o.d"
+  "/root/repo/src/comm/stats.cpp" "src/comm/CMakeFiles/pyhpc_comm.dir/stats.cpp.o" "gcc" "src/comm/CMakeFiles/pyhpc_comm.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pyhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyhpc_comm.dir/communicator.cpp.o"
+  "CMakeFiles/pyhpc_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/pyhpc_comm.dir/context.cpp.o"
+  "CMakeFiles/pyhpc_comm.dir/context.cpp.o.d"
+  "CMakeFiles/pyhpc_comm.dir/mailbox.cpp.o"
+  "CMakeFiles/pyhpc_comm.dir/mailbox.cpp.o.d"
+  "CMakeFiles/pyhpc_comm.dir/runner.cpp.o"
+  "CMakeFiles/pyhpc_comm.dir/runner.cpp.o.d"
+  "CMakeFiles/pyhpc_comm.dir/stats.cpp.o"
+  "CMakeFiles/pyhpc_comm.dir/stats.cpp.o.d"
+  "libpyhpc_comm.a"
+  "libpyhpc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyhpc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyhpc_epetraext.dir/epetraext.cpp.o"
+  "CMakeFiles/pyhpc_epetraext.dir/epetraext.cpp.o.d"
+  "libpyhpc_epetraext.a"
+  "libpyhpc_epetraext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyhpc_epetraext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyhpc_isorropia.dir/partition.cpp.o"
+  "CMakeFiles/pyhpc_isorropia.dir/partition.cpp.o.d"
+  "libpyhpc_isorropia.a"
+  "libpyhpc_isorropia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyhpc_isorropia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyhpc_komplex.dir/komplex.cpp.o"
+  "CMakeFiles/pyhpc_komplex.dir/komplex.cpp.o.d"
+  "libpyhpc_komplex.a"
+  "libpyhpc_komplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyhpc_komplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/odin/dist_array.cpp" "src/odin/CMakeFiles/pyhpc_odin.dir/dist_array.cpp.o" "gcc" "src/odin/CMakeFiles/pyhpc_odin.dir/dist_array.cpp.o.d"
+  "/root/repo/src/odin/distribution.cpp" "src/odin/CMakeFiles/pyhpc_odin.dir/distribution.cpp.o" "gcc" "src/odin/CMakeFiles/pyhpc_odin.dir/distribution.cpp.o.d"
+  "/root/repo/src/odin/driver.cpp" "src/odin/CMakeFiles/pyhpc_odin.dir/driver.cpp.o" "gcc" "src/odin/CMakeFiles/pyhpc_odin.dir/driver.cpp.o.d"
+  "/root/repo/src/odin/io.cpp" "src/odin/CMakeFiles/pyhpc_odin.dir/io.cpp.o" "gcc" "src/odin/CMakeFiles/pyhpc_odin.dir/io.cpp.o.d"
+  "/root/repo/src/odin/local.cpp" "src/odin/CMakeFiles/pyhpc_odin.dir/local.cpp.o" "gcc" "src/odin/CMakeFiles/pyhpc_odin.dir/local.cpp.o.d"
+  "/root/repo/src/odin/ufunc.cpp" "src/odin/CMakeFiles/pyhpc_odin.dir/ufunc.cpp.o" "gcc" "src/odin/CMakeFiles/pyhpc_odin.dir/ufunc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/pyhpc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pyhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyhpc_odin.dir/dist_array.cpp.o"
+  "CMakeFiles/pyhpc_odin.dir/dist_array.cpp.o.d"
+  "CMakeFiles/pyhpc_odin.dir/distribution.cpp.o"
+  "CMakeFiles/pyhpc_odin.dir/distribution.cpp.o.d"
+  "CMakeFiles/pyhpc_odin.dir/driver.cpp.o"
+  "CMakeFiles/pyhpc_odin.dir/driver.cpp.o.d"
+  "CMakeFiles/pyhpc_odin.dir/io.cpp.o"
+  "CMakeFiles/pyhpc_odin.dir/io.cpp.o.d"
+  "CMakeFiles/pyhpc_odin.dir/local.cpp.o"
+  "CMakeFiles/pyhpc_odin.dir/local.cpp.o.d"
+  "CMakeFiles/pyhpc_odin.dir/ufunc.cpp.o"
+  "CMakeFiles/pyhpc_odin.dir/ufunc.cpp.o.d"
+  "libpyhpc_odin.a"
+  "libpyhpc_odin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyhpc_odin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

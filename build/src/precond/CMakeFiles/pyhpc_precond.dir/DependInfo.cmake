@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/precond/amg.cpp" "src/precond/CMakeFiles/pyhpc_precond.dir/amg.cpp.o" "gcc" "src/precond/CMakeFiles/pyhpc_precond.dir/amg.cpp.o.d"
+  "/root/repo/src/precond/ilu0.cpp" "src/precond/CMakeFiles/pyhpc_precond.dir/ilu0.cpp.o" "gcc" "src/precond/CMakeFiles/pyhpc_precond.dir/ilu0.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pyhpc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/pyhpc_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

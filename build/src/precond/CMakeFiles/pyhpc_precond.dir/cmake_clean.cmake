@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyhpc_precond.dir/amg.cpp.o"
+  "CMakeFiles/pyhpc_precond.dir/amg.cpp.o.d"
+  "CMakeFiles/pyhpc_precond.dir/ilu0.cpp.o"
+  "CMakeFiles/pyhpc_precond.dir/ilu0.cpp.o.d"
+  "libpyhpc_precond.a"
+  "libpyhpc_precond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyhpc_precond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpyhpc_precond.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seamless/bc_compiler.cpp" "src/seamless/CMakeFiles/pyhpc_seamless.dir/bc_compiler.cpp.o" "gcc" "src/seamless/CMakeFiles/pyhpc_seamless.dir/bc_compiler.cpp.o.d"
+  "/root/repo/src/seamless/ffi.cpp" "src/seamless/CMakeFiles/pyhpc_seamless.dir/ffi.cpp.o" "gcc" "src/seamless/CMakeFiles/pyhpc_seamless.dir/ffi.cpp.o.d"
+  "/root/repo/src/seamless/interpreter.cpp" "src/seamless/CMakeFiles/pyhpc_seamless.dir/interpreter.cpp.o" "gcc" "src/seamless/CMakeFiles/pyhpc_seamless.dir/interpreter.cpp.o.d"
+  "/root/repo/src/seamless/jit.cpp" "src/seamless/CMakeFiles/pyhpc_seamless.dir/jit.cpp.o" "gcc" "src/seamless/CMakeFiles/pyhpc_seamless.dir/jit.cpp.o.d"
+  "/root/repo/src/seamless/lexer.cpp" "src/seamless/CMakeFiles/pyhpc_seamless.dir/lexer.cpp.o" "gcc" "src/seamless/CMakeFiles/pyhpc_seamless.dir/lexer.cpp.o.d"
+  "/root/repo/src/seamless/parser.cpp" "src/seamless/CMakeFiles/pyhpc_seamless.dir/parser.cpp.o" "gcc" "src/seamless/CMakeFiles/pyhpc_seamless.dir/parser.cpp.o.d"
+  "/root/repo/src/seamless/seamless.cpp" "src/seamless/CMakeFiles/pyhpc_seamless.dir/seamless.cpp.o" "gcc" "src/seamless/CMakeFiles/pyhpc_seamless.dir/seamless.cpp.o.d"
+  "/root/repo/src/seamless/transpile.cpp" "src/seamless/CMakeFiles/pyhpc_seamless.dir/transpile.cpp.o" "gcc" "src/seamless/CMakeFiles/pyhpc_seamless.dir/transpile.cpp.o.d"
+  "/root/repo/src/seamless/value.cpp" "src/seamless/CMakeFiles/pyhpc_seamless.dir/value.cpp.o" "gcc" "src/seamless/CMakeFiles/pyhpc_seamless.dir/value.cpp.o.d"
+  "/root/repo/src/seamless/vm.cpp" "src/seamless/CMakeFiles/pyhpc_seamless.dir/vm.cpp.o" "gcc" "src/seamless/CMakeFiles/pyhpc_seamless.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pyhpc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyhpc_seamless.dir/bc_compiler.cpp.o"
+  "CMakeFiles/pyhpc_seamless.dir/bc_compiler.cpp.o.d"
+  "CMakeFiles/pyhpc_seamless.dir/ffi.cpp.o"
+  "CMakeFiles/pyhpc_seamless.dir/ffi.cpp.o.d"
+  "CMakeFiles/pyhpc_seamless.dir/interpreter.cpp.o"
+  "CMakeFiles/pyhpc_seamless.dir/interpreter.cpp.o.d"
+  "CMakeFiles/pyhpc_seamless.dir/jit.cpp.o"
+  "CMakeFiles/pyhpc_seamless.dir/jit.cpp.o.d"
+  "CMakeFiles/pyhpc_seamless.dir/lexer.cpp.o"
+  "CMakeFiles/pyhpc_seamless.dir/lexer.cpp.o.d"
+  "CMakeFiles/pyhpc_seamless.dir/parser.cpp.o"
+  "CMakeFiles/pyhpc_seamless.dir/parser.cpp.o.d"
+  "CMakeFiles/pyhpc_seamless.dir/seamless.cpp.o"
+  "CMakeFiles/pyhpc_seamless.dir/seamless.cpp.o.d"
+  "CMakeFiles/pyhpc_seamless.dir/transpile.cpp.o"
+  "CMakeFiles/pyhpc_seamless.dir/transpile.cpp.o.d"
+  "CMakeFiles/pyhpc_seamless.dir/value.cpp.o"
+  "CMakeFiles/pyhpc_seamless.dir/value.cpp.o.d"
+  "CMakeFiles/pyhpc_seamless.dir/vm.cpp.o"
+  "CMakeFiles/pyhpc_seamless.dir/vm.cpp.o.d"
+  "libpyhpc_seamless.a"
+  "libpyhpc_seamless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyhpc_seamless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

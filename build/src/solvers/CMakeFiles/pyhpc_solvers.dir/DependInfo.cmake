@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solvers/amesos.cpp" "src/solvers/CMakeFiles/pyhpc_solvers.dir/amesos.cpp.o" "gcc" "src/solvers/CMakeFiles/pyhpc_solvers.dir/amesos.cpp.o.d"
+  "/root/repo/src/solvers/anasazi.cpp" "src/solvers/CMakeFiles/pyhpc_solvers.dir/anasazi.cpp.o" "gcc" "src/solvers/CMakeFiles/pyhpc_solvers.dir/anasazi.cpp.o.d"
+  "/root/repo/src/solvers/factory.cpp" "src/solvers/CMakeFiles/pyhpc_solvers.dir/factory.cpp.o" "gcc" "src/solvers/CMakeFiles/pyhpc_solvers.dir/factory.cpp.o.d"
+  "/root/repo/src/solvers/krylov.cpp" "src/solvers/CMakeFiles/pyhpc_solvers.dir/krylov.cpp.o" "gcc" "src/solvers/CMakeFiles/pyhpc_solvers.dir/krylov.cpp.o.d"
+  "/root/repo/src/solvers/nox.cpp" "src/solvers/CMakeFiles/pyhpc_solvers.dir/nox.cpp.o" "gcc" "src/solvers/CMakeFiles/pyhpc_solvers.dir/nox.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/precond/CMakeFiles/pyhpc_precond.dir/DependInfo.cmake"
+  "/root/repo/build/src/teuchos/CMakeFiles/pyhpc_teuchos.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pyhpc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/pyhpc_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

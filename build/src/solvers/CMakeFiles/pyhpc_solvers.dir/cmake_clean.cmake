@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyhpc_solvers.dir/amesos.cpp.o"
+  "CMakeFiles/pyhpc_solvers.dir/amesos.cpp.o.d"
+  "CMakeFiles/pyhpc_solvers.dir/anasazi.cpp.o"
+  "CMakeFiles/pyhpc_solvers.dir/anasazi.cpp.o.d"
+  "CMakeFiles/pyhpc_solvers.dir/factory.cpp.o"
+  "CMakeFiles/pyhpc_solvers.dir/factory.cpp.o.d"
+  "CMakeFiles/pyhpc_solvers.dir/krylov.cpp.o"
+  "CMakeFiles/pyhpc_solvers.dir/krylov.cpp.o.d"
+  "CMakeFiles/pyhpc_solvers.dir/nox.cpp.o"
+  "CMakeFiles/pyhpc_solvers.dir/nox.cpp.o.d"
+  "libpyhpc_solvers.a"
+  "libpyhpc_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyhpc_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

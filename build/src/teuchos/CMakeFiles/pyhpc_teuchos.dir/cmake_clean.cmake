@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyhpc_teuchos.dir/parameter_list.cpp.o"
+  "CMakeFiles/pyhpc_teuchos.dir/parameter_list.cpp.o.d"
+  "CMakeFiles/pyhpc_teuchos.dir/timer.cpp.o"
+  "CMakeFiles/pyhpc_teuchos.dir/timer.cpp.o.d"
+  "libpyhpc_teuchos.a"
+  "libpyhpc_teuchos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyhpc_teuchos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pyhpc_teuchos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for pyhpc_teuchos.
+# This may be replaced when dependencies are built.

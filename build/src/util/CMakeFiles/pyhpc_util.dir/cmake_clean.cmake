@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyhpc_util.dir/dense_lu.cpp.o"
+  "CMakeFiles/pyhpc_util.dir/dense_lu.cpp.o.d"
+  "CMakeFiles/pyhpc_util.dir/random.cpp.o"
+  "CMakeFiles/pyhpc_util.dir/random.cpp.o.d"
+  "CMakeFiles/pyhpc_util.dir/string_util.cpp.o"
+  "CMakeFiles/pyhpc_util.dir/string_util.cpp.o.d"
+  "libpyhpc_util.a"
+  "libpyhpc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyhpc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

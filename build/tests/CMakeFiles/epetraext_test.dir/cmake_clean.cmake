@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epetraext_test.dir/epetraext_test.cpp.o"
+  "CMakeFiles/epetraext_test.dir/epetraext_test.cpp.o.d"
+  "epetraext_test"
+  "epetraext_test.pdb"
+  "epetraext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epetraext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

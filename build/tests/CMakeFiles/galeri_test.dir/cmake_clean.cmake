@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galeri_test.dir/galeri_test.cpp.o"
+  "CMakeFiles/galeri_test.dir/galeri_test.cpp.o.d"
+  "galeri_test"
+  "galeri_test.pdb"
+  "galeri_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galeri_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

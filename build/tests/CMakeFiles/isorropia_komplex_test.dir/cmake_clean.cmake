@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isorropia_komplex_test.dir/isorropia_komplex_test.cpp.o"
+  "CMakeFiles/isorropia_komplex_test.dir/isorropia_komplex_test.cpp.o.d"
+  "isorropia_komplex_test"
+  "isorropia_komplex_test.pdb"
+  "isorropia_komplex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isorropia_komplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

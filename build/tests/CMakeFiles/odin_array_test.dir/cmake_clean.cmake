@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_array_test.dir/odin_array_test.cpp.o"
+  "CMakeFiles/odin_array_test.dir/odin_array_test.cpp.o.d"
+  "odin_array_test"
+  "odin_array_test.pdb"
+  "odin_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_distribution_test.dir/odin_distribution_test.cpp.o"
+  "CMakeFiles/odin_distribution_test.dir/odin_distribution_test.cpp.o.d"
+  "odin_distribution_test"
+  "odin_distribution_test.pdb"
+  "odin_distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_local_tabular_test.dir/odin_local_tabular_test.cpp.o"
+  "CMakeFiles/odin_local_tabular_test.dir/odin_local_tabular_test.cpp.o.d"
+  "odin_local_tabular_test"
+  "odin_local_tabular_test.pdb"
+  "odin_local_tabular_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_local_tabular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for odin_local_tabular_test.
+# This may be replaced when dependencies are built.

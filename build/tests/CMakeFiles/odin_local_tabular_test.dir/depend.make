@@ -1,0 +1,2 @@
+# Empty dependencies file for odin_local_tabular_test.
+# This may be replaced when dependencies are built.

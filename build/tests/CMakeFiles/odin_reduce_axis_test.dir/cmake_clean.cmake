@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_reduce_axis_test.dir/odin_reduce_axis_test.cpp.o"
+  "CMakeFiles/odin_reduce_axis_test.dir/odin_reduce_axis_test.cpp.o.d"
+  "odin_reduce_axis_test"
+  "odin_reduce_axis_test.pdb"
+  "odin_reduce_axis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_reduce_axis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odin_slicing_expr_test.dir/odin_slicing_expr_test.cpp.o"
+  "CMakeFiles/odin_slicing_expr_test.dir/odin_slicing_expr_test.cpp.o.d"
+  "odin_slicing_expr_test"
+  "odin_slicing_expr_test.pdb"
+  "odin_slicing_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odin_slicing_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

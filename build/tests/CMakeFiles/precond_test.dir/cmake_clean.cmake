@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precond_test.dir/precond_test.cpp.o"
+  "CMakeFiles/precond_test.dir/precond_test.cpp.o.d"
+  "precond_test"
+  "precond_test.pdb"
+  "precond_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precond_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seamless_backend_test.dir/seamless_backend_test.cpp.o"
+  "CMakeFiles/seamless_backend_test.dir/seamless_backend_test.cpp.o.d"
+  "seamless_backend_test"
+  "seamless_backend_test.pdb"
+  "seamless_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seamless_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seamless_frontend_test.dir/seamless_frontend_test.cpp.o"
+  "CMakeFiles/seamless_frontend_test.dir/seamless_frontend_test.cpp.o.d"
+  "seamless_frontend_test"
+  "seamless_frontend_test.pdb"
+  "seamless_frontend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seamless_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seamless_transpile_test.dir/seamless_transpile_test.cpp.o"
+  "CMakeFiles/seamless_transpile_test.dir/seamless_transpile_test.cpp.o.d"
+  "seamless_transpile_test"
+  "seamless_transpile_test.pdb"
+  "seamless_transpile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seamless_transpile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

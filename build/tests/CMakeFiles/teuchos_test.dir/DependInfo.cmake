@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/teuchos_test.cpp" "tests/CMakeFiles/teuchos_test.dir/teuchos_test.cpp.o" "gcc" "tests/CMakeFiles/teuchos_test.dir/teuchos_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pyhpc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/pyhpc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/teuchos/CMakeFiles/pyhpc_teuchos.dir/DependInfo.cmake"
+  "/root/repo/build/src/precond/CMakeFiles/pyhpc_precond.dir/DependInfo.cmake"
+  "/root/repo/build/src/solvers/CMakeFiles/pyhpc_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/epetraext/CMakeFiles/pyhpc_epetraext.dir/DependInfo.cmake"
+  "/root/repo/build/src/isorropia/CMakeFiles/pyhpc_isorropia.dir/DependInfo.cmake"
+  "/root/repo/build/src/komplex/CMakeFiles/pyhpc_komplex.dir/DependInfo.cmake"
+  "/root/repo/build/src/odin/CMakeFiles/pyhpc_odin.dir/DependInfo.cmake"
+  "/root/repo/build/src/seamless/CMakeFiles/pyhpc_seamless.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teuchos_test.dir/teuchos_test.cpp.o"
+  "CMakeFiles/teuchos_test.dir/teuchos_test.cpp.o.d"
+  "teuchos_test"
+  "teuchos_test.pdb"
+  "teuchos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teuchos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpetra_crs_test.dir/tpetra_crs_test.cpp.o"
+  "CMakeFiles/tpetra_crs_test.dir/tpetra_crs_test.cpp.o.d"
+  "tpetra_crs_test"
+  "tpetra_crs_test.pdb"
+  "tpetra_crs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpetra_crs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpetra_map_test.dir/tpetra_map_test.cpp.o"
+  "CMakeFiles/tpetra_map_test.dir/tpetra_map_test.cpp.o.d"
+  "tpetra_map_test"
+  "tpetra_map_test.pdb"
+  "tpetra_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpetra_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpetra_vector_test.dir/tpetra_vector_test.cpp.o"
+  "CMakeFiles/tpetra_vector_test.dir/tpetra_vector_test.cpp.o.d"
+  "tpetra_vector_test"
+  "tpetra_vector_test.pdb"
+  "tpetra_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpetra_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_test[1]_include.cmake")
+include("/root/repo/build/tests/teuchos_test[1]_include.cmake")
+include("/root/repo/build/tests/tpetra_map_test[1]_include.cmake")
+include("/root/repo/build/tests/tpetra_vector_test[1]_include.cmake")
+include("/root/repo/build/tests/tpetra_crs_test[1]_include.cmake")
+include("/root/repo/build/tests/galeri_test[1]_include.cmake")
+include("/root/repo/build/tests/precond_test[1]_include.cmake")
+include("/root/repo/build/tests/solvers_test[1]_include.cmake")
+include("/root/repo/build/tests/epetraext_test[1]_include.cmake")
+include("/root/repo/build/tests/isorropia_komplex_test[1]_include.cmake")
+include("/root/repo/build/tests/odin_distribution_test[1]_include.cmake")
+include("/root/repo/build/tests/odin_array_test[1]_include.cmake")
+include("/root/repo/build/tests/odin_slicing_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/odin_local_tabular_test[1]_include.cmake")
+include("/root/repo/build/tests/seamless_frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/seamless_backend_test[1]_include.cmake")
+include("/root/repo/build/tests/seamless_transpile_test[1]_include.cmake")
+include("/root/repo/build/tests/odin_reduce_axis_test[1]_include.cmake")
+include("/root/repo/build/tests/hardening_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seamless_compile.dir/seamless_compile.cpp.o"
+  "CMakeFiles/seamless_compile.dir/seamless_compile.cpp.o.d"
+  "seamless_compile"
+  "seamless_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seamless_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
