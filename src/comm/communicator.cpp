@@ -40,7 +40,13 @@ Communicator Communicator::split(int color, int key) {
 
   std::shared_ptr<Context> child;
   if (rank_ == creator_parent_rank) {
-    child = std::make_shared<Context>(static_cast<int>(group.size()));
+    // Children inherit timeout/watchdog policy but not the fault injector:
+    // rules address ranks of the context they were installed in, and child
+    // ranks are renumbered.
+    CommConfig child_config = ctx_->config();
+    child_config.injector.reset();
+    child = std::make_shared<Context>(static_cast<int>(group.size()),
+                                      std::move(child_config));
     ctx_->publish_child(split_seq, color, child);
   } else {
     child = ctx_->wait_child(split_seq, color);

@@ -12,6 +12,7 @@
 // serialization helpers in odin/seamless.
 #pragma once
 
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -105,9 +106,19 @@ class Communicator {
     return st;
   }
 
-  /// Blocking probe: metadata of the next matching message.
+  /// Blocking probe: metadata of the next matching message. Honours the
+  /// CommConfig receive deadline (RecvTimeoutError past it).
   Status probe(int source = kAnySource, int tag = kAnyTag) {
-    return ctx_->mailbox(rank_).probe(source, tag, ctx_->abort_flag());
+    try {
+      return ctx_->mailbox(rank_).probe(source, tag, wait_options());
+    } catch (const RecvTimeoutError&) {
+      ++stats().timeouts;
+      throw;
+    } catch (const RankKilledError&) {
+      throw;
+    } catch (const CommError&) {
+      rethrow_refined();
+    }
   }
 
   /// Non-blocking probe.
@@ -177,7 +188,56 @@ class Communicator {
   std::string recv_string(int source = kAnySource, int tag = kAnyTag) {
     std::vector<std::byte> raw;
     recv_bytes(raw, source, tag);
+    // Empty payloads have a null data() pointer; constructing a string from
+    // (nullptr, 0) is UB, so guard that case explicitly.
+    if (raw.empty()) return std::string();
     return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+  }
+
+  // ---- deadline-bounded receives ----------------------------------------
+  // Like their unbounded counterparts but with an explicit per-call
+  // deadline that overrides CommConfig::recv_timeout; they throw
+  // RecvTimeoutError when it expires. The ODIN driver's ack/retry protocol
+  // is built on these.
+
+  Status recv_bytes_within(std::chrono::milliseconds timeout,
+                           std::vector<std::byte>& out,
+                           int source = kAnySource, int tag = kAnyTag) {
+    Envelope env = pop(source, tag, timeout);
+    Status st{env.source, env.tag, env.payload.size()};
+    out = std::move(env.payload);
+    auto& s = stats();
+    ++s.p2p_messages_received;
+    s.p2p_bytes_received += st.bytes;
+    return st;
+  }
+
+  template <class T>
+  T recv_value_within(std::chrono::milliseconds timeout,
+                      int source = kAnySource, int tag = kAnyTag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Envelope env = pop(source, tag, timeout);
+    auto& s = stats();
+    ++s.p2p_messages_received;
+    s.p2p_bytes_received += env.payload.size();
+    require<CommError>(
+        env.payload.size() == sizeof(T),
+        util::cat("recv_value_within: message of ", env.payload.size(),
+                  " bytes does not match value of ", sizeof(T), " bytes"));
+    T value{};
+    std::memcpy(&value, env.payload.data(), sizeof(T));
+    return value;
+  }
+
+  // ---- failure observability --------------------------------------------
+
+  /// True when fault injection has killed `rank` (drivers use this to turn
+  /// a missing ack into WorkerLostError instead of retrying forever).
+  bool rank_dead(int rank) const { return ctx_->is_killed(rank); }
+
+  /// Payload bytes currently buffered in this rank's mailbox.
+  std::size_t queued_bytes() const {
+    return ctx_->mailbox(rank_).queued_bytes();
   }
 
   // ---- non-blocking -----------------------------------------------------
@@ -553,8 +613,49 @@ class Communicator {
                        "collective root out of range");
   }
 
-  Envelope pop(int source, int tag) {
-    return ctx_->mailbox(rank_).pop_matching(source, tag, ctx_->abort_flag());
+  Mailbox::WaitOptions wait_options(
+      std::optional<std::chrono::milliseconds> timeout_override =
+          std::nullopt) const {
+    Mailbox::WaitOptions w;
+    w.aborted = &ctx_->abort_flag();
+    w.killed = &ctx_->killed_flag(rank_);
+    w.timeout = timeout_override.value_or(ctx_->config().recv_timeout);
+    return w;
+  }
+
+  /// An abort-path CommError may really be the watchdog's verdict; surface
+  /// the who-waits-on-whom report as DeadlockError when it is.
+  [[noreturn]] void rethrow_refined() const {
+    if (ctx_->deadlocked()) throw DeadlockError(ctx_->deadlock_report());
+    throw;
+  }
+
+  void verify_integrity(const Envelope& env) {
+    if (envelope_checksum(env) == env.checksum) return;
+    ++stats().corruption_detected;
+    throw CommIntegrityError(util::cat(
+        "message integrity check failed (source ", env.source, ", tag ",
+        env.tag, ", ", env.payload.size(), " bytes): checksum mismatch"));
+  }
+
+  Envelope pop(int source, int tag,
+               std::optional<std::chrono::milliseconds> timeout_override =
+                   std::nullopt) {
+    Envelope env = [&] {
+      try {
+        return ctx_->mailbox(rank_).pop_matching(
+            source, tag, wait_options(timeout_override));
+      } catch (const RecvTimeoutError&) {
+        ++stats().timeouts;
+        throw;
+      } catch (const RankKilledError&) {
+        throw;
+      } catch (const CommError&) {
+        rethrow_refined();
+      }
+    }();
+    verify_integrity(env);
+    return env;
   }
 
   void send_bytes_internal(std::span<const std::byte> data, int dest, int tag,
@@ -562,6 +663,11 @@ class Communicator {
     require<CommError>(dest >= 0 && dest < size(),
                        util::cat("send: destination rank ", dest,
                                  " out of range [0, ", size(), ")"));
+    // A killed rank discovers its own death the moment it touches the
+    // substrate again.
+    if (ctx_->is_killed(rank_)) {
+      throw RankKilledError("send on a killed rank (fault injection)");
+    }
     Envelope env;
     env.source = rank_;
     env.tag = tag;
@@ -574,7 +680,7 @@ class Communicator {
       ++s.p2p_messages_sent;
       s.p2p_bytes_sent += data.size();
     }
-    ctx_->mailbox(dest).push(std::move(env));
+    ctx_->deliver(dest, std::move(env));
   }
 
   void coll_send(std::span<const std::byte> data, int dest, int tag) {
@@ -656,6 +762,7 @@ inline bool PendingRecv::ready() {
   if (captured_.has_value()) return true;
   auto env = comm_->ctx_->mailbox(comm_->rank_).try_pop_matching(source_, tag_);
   if (!env.has_value()) return false;
+  comm_->verify_integrity(*env);
   captured_ = std::move(*env);
   return true;
 }

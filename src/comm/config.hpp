@@ -1,0 +1,35 @@
+// Per-world communication policy: receive deadlines, the deadlock
+// watchdog, and an optional fault injector. Passed to comm::run (and held
+// by the Context), so every Communicator of the world sees the same policy.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+namespace pyhpc::comm {
+
+class FaultInjector;
+
+struct CommConfig {
+  /// Default deadline for blocking recv/probe; zero means wait forever
+  /// (the pre-resilience behaviour). Individual calls can override it with
+  /// the *_within variants.
+  std::chrono::milliseconds recv_timeout{0};
+
+  /// When true (default) the runner starts a watchdog thread that aborts
+  /// the world with a who-waits-on-whom DeadlockError once every live rank
+  /// is blocked without a deadline and nothing is in flight — so a wedged
+  /// test fails with a diagnostic instead of hanging ctest.
+  bool watchdog = true;
+
+  /// Watchdog sampling period. A deadlock must be stable across two
+  /// consecutive samples before it is declared (rules out races).
+  std::chrono::milliseconds watchdog_poll{250};
+
+  /// Deterministic fault injection applied inside Context::deliver; null
+  /// means no injection. Not inherited by split() children: rules address
+  /// ranks of the context they are installed in.
+  std::shared_ptr<FaultInjector> injector;
+};
+
+}  // namespace pyhpc::comm

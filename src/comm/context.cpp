@@ -1,19 +1,29 @@
 #include "comm/context.hpp"
 
 #include <chrono>
+#include <thread>
 
+#include "comm/fault.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 
 namespace pyhpc::comm {
 
-Context::Context(int nranks) {
+Context::Context(int nranks, CommConfig config) : config_(std::move(config)) {
   require(nranks >= 1, "Context: need at least one rank");
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
   stats_.resize(static_cast<std::size_t>(nranks));
+  killed_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(nranks));
+  done_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    killed_[i].store(false, std::memory_order_relaxed);
+    done_[i].store(false, std::memory_order_relaxed);
+  }
 }
 
 Mailbox& Context::mailbox(int rank) {
@@ -29,10 +39,96 @@ CommStats& Context::stats(int rank) {
   return stats_[static_cast<std::size_t>(rank)];
 }
 
+void Context::deliver(int dest, Envelope env) {
+  require<CommError>(dest >= 0 && dest < size(),
+                     util::cat("Context::deliver: rank ", dest,
+                               " out of range [0, ", size(), ")"));
+  // A dead rank sends nothing, and messages to the dead are never read —
+  // drop both so the simulated crash does not leak buffered traffic.
+  if (is_killed(env.source) || is_killed(dest)) return;
+
+  env.checksum = envelope_checksum(env);
+
+  if (FaultInjector* inj = config_.injector.get()) {
+    if (auto d = inj->intercept(env.source, dest, env.tag)) {
+      switch (d->kind) {
+        case FaultKind::kDrop:
+          return;
+        case FaultKind::kDelay:
+          // Sender-side stall: models link backpressure and keeps delivery
+          // deterministic (no detached reordering threads).
+          std::this_thread::sleep_for(d->delay);
+          break;
+        case FaultKind::kDuplicate:
+          mailboxes_[static_cast<std::size_t>(dest)]->push(env);
+          break;
+        case FaultKind::kCorrupt:
+          // Flip payload bits *after* checksumming so the receiver detects
+          // the damage; empty payloads get their checksum flipped instead.
+          if (env.payload.empty()) {
+            env.checksum = ~env.checksum;
+          } else {
+            env.payload[env.payload.size() / 2] ^= std::byte{0xFF};
+          }
+          break;
+        case FaultKind::kKillRank:
+          // The crash takes the in-flight message down with it.
+          kill_rank(d->victim == kAnyRank ? dest : d->victim);
+          return;
+      }
+    }
+  }
+  mailboxes_[static_cast<std::size_t>(dest)]->push(std::move(env));
+}
+
 void Context::abort() {
   aborted_.store(true, std::memory_order_relaxed);
   for (auto& mb : mailboxes_) mb->interrupt();
   children_cv_.notify_all();
+}
+
+void Context::kill_rank(int rank) {
+  require<CommError>(rank >= 0 && rank < size(),
+                     "Context::kill_rank: rank out of range");
+  killed_[rank].store(true, std::memory_order_release);
+  // Wake the victim if it is blocked so it observes its own death.
+  mailboxes_[static_cast<std::size_t>(rank)]->interrupt();
+}
+
+bool Context::is_killed(int rank) const {
+  if (rank < 0 || rank >= size()) return false;
+  return killed_[rank].load(std::memory_order_acquire);
+}
+
+const std::atomic<bool>& Context::killed_flag(int rank) const {
+  require<CommError>(rank >= 0 && rank < size(),
+                     "Context::killed_flag: rank out of range");
+  return killed_[rank];
+}
+
+void Context::mark_done(int rank) {
+  if (rank < 0 || rank >= size()) return;
+  done_[rank].store(true, std::memory_order_release);
+}
+
+bool Context::is_done(int rank) const {
+  if (rank < 0 || rank >= size()) return false;
+  return done_[rank].load(std::memory_order_acquire);
+}
+
+void Context::fail_deadlock(std::string report) {
+  {
+    std::lock_guard<std::mutex> lock(deadlock_mu_);
+    if (deadlocked_.load(std::memory_order_relaxed)) return;
+    deadlock_report_ = std::move(report);
+  }
+  deadlocked_.store(true, std::memory_order_release);
+  abort();
+}
+
+std::string Context::deadlock_report() const {
+  std::lock_guard<std::mutex> lock(deadlock_mu_);
+  return deadlock_report_;
 }
 
 void Context::publish_child(std::uint64_t seq, int color,

@@ -1,6 +1,8 @@
 // Shared state for one communicator "world": the mailboxes of every rank,
-// the abort flag, per-rank stats, and a registry used to hand sub-contexts
-// from the creating rank to the other members during split().
+// the abort flag, per-rank stats, the communication policy (CommConfig),
+// failure-containment state (killed ranks, deadlock report), and a registry
+// used to hand sub-contexts from the creating rank to the other members
+// during split().
 #pragma once
 
 #include <atomic>
@@ -9,8 +11,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "comm/config.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/stats.hpp"
 
@@ -18,13 +22,20 @@ namespace pyhpc::comm {
 
 class Context {
  public:
-  explicit Context(int nranks);
+  explicit Context(int nranks, CommConfig config = {});
 
   int size() const { return static_cast<int>(mailboxes_.size()); }
+
+  const CommConfig& config() const { return config_; }
 
   Mailbox& mailbox(int rank);
 
   CommStats& stats(int rank);
+
+  /// The single choke point every send funnels through: stamps the
+  /// integrity checksum, consults the fault injector, filters traffic
+  /// from/to killed ranks, and finally enqueues at `dest`'s mailbox.
+  void deliver(int dest, Envelope env);
 
   /// Set by the runner when any rank throws; blocking waits observe it.
   std::atomic<bool>& abort_flag() { return aborted_; }
@@ -32,6 +43,25 @@ class Context {
 
   /// Marks the context aborted and wakes every blocked receiver.
   void abort();
+
+  // ---- failure containment ---------------------------------------------
+
+  /// Simulated crash of one rank: its sends are swallowed, its blocking
+  /// waits throw RankKilledError, and the rest of the world keeps running.
+  void kill_rank(int rank);
+  bool is_killed(int rank) const;
+  const std::atomic<bool>& killed_flag(int rank) const;
+
+  /// The runner marks a rank done when its body returns (or dies); the
+  /// watchdog only considers not-done ranks when looking for deadlock.
+  void mark_done(int rank);
+  bool is_done(int rank) const;
+
+  /// Watchdog verdict: records the who-waits-on-whom report (first writer
+  /// wins) and aborts the world; blocked ranks then throw DeadlockError.
+  void fail_deadlock(std::string report);
+  bool deadlocked() const { return deadlocked_.load(std::memory_order_acquire); }
+  std::string deadlock_report() const;
 
   /// split() support: the lowest-ranked member of each colour group creates
   /// the child context and publishes it under (sequence, colour); the other
@@ -42,9 +72,16 @@ class Context {
   std::shared_ptr<Context> wait_child(std::uint64_t seq, int color);
 
  private:
+  CommConfig config_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<CommStats> stats_;
   std::atomic<bool> aborted_{false};
+  std::unique_ptr<std::atomic<bool>[]> killed_;
+  std::unique_ptr<std::atomic<bool>[]> done_;
+
+  std::atomic<bool> deadlocked_{false};
+  mutable std::mutex deadlock_mu_;
+  std::string deadlock_report_;
 
   std::mutex children_mu_;
   std::condition_variable children_cv_;

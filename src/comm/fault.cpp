@@ -1,0 +1,66 @@
+#include "comm/fault.hpp"
+
+#include "util/error.hpp"
+
+namespace pyhpc::comm {
+
+int FaultInjector::add_rule(const FaultRule& rule) {
+  require(rule.probability >= 0.0 && rule.probability <= 1.0,
+          "FaultRule: probability must be in [0, 1]");
+  require(rule.skip_first >= 0, "FaultRule: skip_first must be >= 0");
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(RuleState{rule, 0, 0});
+  return static_cast<int>(rules_.size()) - 1;
+}
+
+std::optional<FaultInjector::Decision> FaultInjector::intercept(int source,
+                                                                int dest,
+                                                                int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& rs : rules_) {
+    const FaultRule& r = rs.rule;
+    if (!matches(r, source, dest, tag)) continue;
+    ++rs.matches;
+    if (rs.matches <= static_cast<std::uint64_t>(r.skip_first)) continue;
+    if (r.max_applications >= 0 &&
+        rs.applications >= static_cast<std::uint64_t>(r.max_applications)) {
+      continue;
+    }
+    if (r.probability < 1.0 && rng_.next_double() >= r.probability) continue;
+    ++rs.applications;
+    switch (r.kind) {
+      case FaultKind::kDrop: ++counts_.drops; break;
+      case FaultKind::kDelay: ++counts_.delays; break;
+      case FaultKind::kDuplicate: ++counts_.duplicates; break;
+      case FaultKind::kCorrupt: ++counts_.corruptions; break;
+      case FaultKind::kKillRank: ++counts_.kills; break;
+    }
+    Decision d;
+    d.kind = r.kind;
+    d.victim = (r.victim == kAnyRank) ? dest : r.victim;
+    d.delay = r.delay;
+    return d;
+  }
+  return std::nullopt;
+}
+
+FaultCounts FaultInjector::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+std::uint64_t FaultInjector::rule_matches(int index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  require(index >= 0 && index < static_cast<int>(rules_.size()),
+          "FaultInjector: rule index out of range");
+  return rules_[static_cast<std::size_t>(index)].matches;
+}
+
+std::uint64_t FaultInjector::rule_applications(int index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  require(index >= 0 && index < static_cast<int>(rules_.size()),
+          "FaultInjector: rule index out of range");
+  return rules_[static_cast<std::size_t>(index)].applications;
+}
+
+}  // namespace pyhpc::comm

@@ -1,0 +1,110 @@
+// Deterministic fault injection for the message-passing substrate.
+//
+// D2O and the Trilinos-at-scale experience both say a distributed-object
+// layer is only production-usable when its communication failure modes are
+// observable and reproducible. FaultInjector sits inside Context::deliver
+// (the single choke point every send funnels through) and can drop, delay,
+// duplicate, corrupt, or kill-a-rank based on (source, dest, tag) matching
+// with a seeded RNG, so a 5%-loss run replays bit-identically as long as
+// the matching sends originate from one thread (true for the ODIN driver,
+// whose control plane is the main target).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "comm/message.hpp"
+#include "util/random.hpp"
+
+namespace pyhpc::comm {
+
+/// Wildcard rank for FaultRule matching.
+inline constexpr int kAnyRank = -1;
+
+enum class FaultKind {
+  kDrop,       // message vanishes in flight
+  kDelay,      // delivery stalls (sender-side, models link backpressure)
+  kDuplicate,  // message is delivered twice
+  kCorrupt,    // payload bit-flipped after checksumming -> detectable
+  kKillRank,   // victim rank dies; the triggering message is lost with it
+};
+
+/// One injection rule. Rules are evaluated in insertion order; the first
+/// rule that matches and fires decides the message's fate.
+struct FaultRule {
+  FaultKind kind = FaultKind::kDrop;
+  int source = kAnyRank;
+  int dest = kAnyRank;
+  int tag = kAnyTag;
+  /// Chance a matching message triggers the rule (seeded, deterministic).
+  double probability = 1.0;
+  /// Let this many matching messages through before the rule can fire
+  /// ("kill rank after N messages").
+  int skip_first = 0;
+  /// Stop firing after this many applications; -1 = unlimited.
+  int max_applications = -1;
+  /// kKillRank: rank to kill. kAnyRank means "the destination".
+  int victim = kAnyRank;
+  /// kDelay: how long to stall delivery.
+  std::chrono::milliseconds delay{0};
+};
+
+/// Totals of injected faults, by kind (what the injector *did*; the
+/// detection-side counters live in CommStats).
+struct FaultCounts {
+  std::uint64_t drops = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t kills = 0;
+  std::uint64_t total() const {
+    return drops + delays + duplicates + corruptions + kills;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Returns the index of the installed rule (for match introspection).
+  int add_rule(const FaultRule& rule);
+
+  /// What a firing rule told Context::deliver to do.
+  struct Decision {
+    FaultKind kind;
+    int victim = kAnyRank;
+    std::chrono::milliseconds delay{0};
+  };
+
+  /// Consulted once per message; nullopt means deliver normally.
+  std::optional<Decision> intercept(int source, int dest, int tag);
+
+  FaultCounts counts() const;
+
+  /// Messages that matched rule `index` (fired or not), and times it fired.
+  std::uint64_t rule_matches(int index) const;
+  std::uint64_t rule_applications(int index) const;
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    std::uint64_t matches = 0;
+    std::uint64_t applications = 0;
+  };
+
+  static bool matches(const FaultRule& r, int source, int dest, int tag) {
+    return (r.source == kAnyRank || r.source == source) &&
+           (r.dest == kAnyRank || r.dest == dest) &&
+           (r.tag == kAnyTag || r.tag == tag);
+  }
+
+  mutable std::mutex mu_;
+  util::Xoshiro256 rng_;
+  std::vector<RuleState> rules_;
+  FaultCounts counts_;
+};
+
+}  // namespace pyhpc::comm

@@ -1,8 +1,9 @@
 #include "comm/mailbox.hpp"
 
-#include <chrono>
+#include <algorithm>
 
 #include "util/error.hpp"
+#include "util/string_util.hpp"
 
 namespace pyhpc::comm {
 
@@ -10,11 +11,37 @@ namespace {
 // Poll period for blocking waits; short enough that aborts surface quickly,
 // long enough to avoid spinning.
 constexpr auto kPollPeriod = std::chrono::milliseconds(25);
+
+std::string describe_match(int source, int tag) {
+  return util::cat("(source ",
+                   source == kAnySource ? std::string("any")
+                                        : std::to_string(source),
+                   ", tag ",
+                   tag == kAnyTag ? std::string("any") : std::to_string(tag),
+                   ")");
+}
 }  // namespace
+
+Mailbox::WaitScope::WaitScope(Mailbox& mb_in, int source, int tag,
+                              bool has_deadline)
+    : mb(mb_in) {
+  mb.wait_.waiting = true;
+  mb.wait_.source = source;
+  mb.wait_.tag = tag;
+  mb.wait_.has_deadline = has_deadline;
+  ++mb.wait_.epoch;
+}
+
+Mailbox::WaitScope::~WaitScope() {
+  mb.wait_.waiting = false;
+  ++mb.wait_.epoch;
+}
 
 void Mailbox::push(Envelope env) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    queued_bytes_ += env.payload.size();
+    highwater_bytes_ = std::max(highwater_bytes_, queued_bytes_);
     queue_.push_back(std::move(env));
   }
   cv_.notify_all();
@@ -27,20 +54,41 @@ std::deque<Envelope>::iterator Mailbox::find_locked(int source, int tag) {
   return queue_.end();
 }
 
-Envelope Mailbox::pop_matching(int source, int tag,
-                               const std::atomic<bool>& aborted) {
+Envelope Mailbox::pop_matching(int source, int tag, const WaitOptions& opts) {
+  const bool bounded = opts.timeout.count() > 0;
+  const auto deadline = bounded
+                            ? std::chrono::steady_clock::now() + opts.timeout
+                            : std::chrono::steady_clock::time_point::max();
   std::unique_lock<std::mutex> lock(mu_);
+  WaitScope scope(*this, source, tag, bounded);
   for (;;) {
     auto it = find_locked(source, tag);
     if (it != queue_.end()) {
       Envelope env = std::move(*it);
+      queued_bytes_ -= env.payload.size();
       queue_.erase(it);
       return env;
     }
-    if (aborted.load(std::memory_order_relaxed)) {
+    if (opts.killed != nullptr &&
+        opts.killed->load(std::memory_order_relaxed)) {
+      throw RankKilledError("recv on a killed rank (fault injection)");
+    }
+    if (opts.aborted != nullptr &&
+        opts.aborted->load(std::memory_order_relaxed)) {
       throw CommError("recv aborted: another rank failed");
     }
-    cv_.wait_for(lock, kPollPeriod);
+    const auto now = std::chrono::steady_clock::now();
+    if (bounded && now >= deadline) {
+      throw RecvTimeoutError(util::cat("recv timed out after ",
+                                       opts.timeout.count(),
+                                       " ms waiting for ",
+                                       describe_match(source, tag)));
+    }
+    const auto slice =
+        bounded ? std::min<std::chrono::steady_clock::duration>(
+                      kPollPeriod, deadline - now)
+                : std::chrono::steady_clock::duration(kPollPeriod);
+    cv_.wait_for(lock, slice);
   }
 }
 
@@ -49,21 +97,43 @@ std::optional<Envelope> Mailbox::try_pop_matching(int source, int tag) {
   auto it = find_locked(source, tag);
   if (it == queue_.end()) return std::nullopt;
   Envelope env = std::move(*it);
+  queued_bytes_ -= env.payload.size();
   queue_.erase(it);
   return env;
 }
 
-Status Mailbox::probe(int source, int tag, const std::atomic<bool>& aborted) {
+Status Mailbox::probe(int source, int tag, const WaitOptions& opts) {
+  const bool bounded = opts.timeout.count() > 0;
+  const auto deadline = bounded
+                            ? std::chrono::steady_clock::now() + opts.timeout
+                            : std::chrono::steady_clock::time_point::max();
   std::unique_lock<std::mutex> lock(mu_);
+  WaitScope scope(*this, source, tag, bounded);
   for (;;) {
     auto it = find_locked(source, tag);
     if (it != queue_.end()) {
       return Status{it->source, it->tag, it->payload.size()};
     }
-    if (aborted.load(std::memory_order_relaxed)) {
+    if (opts.killed != nullptr &&
+        opts.killed->load(std::memory_order_relaxed)) {
+      throw RankKilledError("probe on a killed rank (fault injection)");
+    }
+    if (opts.aborted != nullptr &&
+        opts.aborted->load(std::memory_order_relaxed)) {
       throw CommError("probe aborted: another rank failed");
     }
-    cv_.wait_for(lock, kPollPeriod);
+    const auto now = std::chrono::steady_clock::now();
+    if (bounded && now >= deadline) {
+      throw RecvTimeoutError(util::cat("probe timed out after ",
+                                       opts.timeout.count(),
+                                       " ms waiting for ",
+                                       describe_match(source, tag)));
+    }
+    const auto slice =
+        bounded ? std::min<std::chrono::steady_clock::duration>(
+                      kPollPeriod, deadline - now)
+                : std::chrono::steady_clock::duration(kPollPeriod);
+    cv_.wait_for(lock, slice);
   }
 }
 
@@ -79,6 +149,21 @@ void Mailbox::interrupt() { cv_.notify_all(); }
 std::size_t Mailbox::queued() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+std::size_t Mailbox::queued_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_bytes_;
+}
+
+std::size_t Mailbox::highwater_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return highwater_bytes_;
+}
+
+Mailbox::WaitInfo Mailbox::wait_info() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wait_;
 }
 
 }  // namespace pyhpc::comm

@@ -31,10 +31,36 @@ struct Status {
 /// copied into the envelope at send time, so a send never blocks on the
 /// receiver (mirrors MPI's eager protocol for small messages and removes
 /// send-side deadlock by construction).
+///
+/// `checksum` is stamped by Context::deliver over (source, tag, payload);
+/// receivers verify it before decoding so injected (or real) corruption
+/// surfaces as CommIntegrityError instead of silently wrong data.
 struct Envelope {
   int source = 0;
   int tag = 0;
+  std::uint64_t checksum = 0;
   std::vector<std::byte> payload;
 };
+
+/// FNV-1a over the delivery-relevant envelope fields. Cheap (one pass over
+/// the payload) and good enough to catch injected bit flips; not a
+/// cryptographic MAC.
+inline std::uint64_t envelope_checksum(const Envelope& env) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(env.source)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(env.tag)));
+  mix(env.payload.size());
+  for (std::byte b : env.payload) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 
 }  // namespace pyhpc::comm

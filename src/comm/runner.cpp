@@ -1,5 +1,7 @@
 #include "comm/runner.hpp"
 
+#include <algorithm>
+#include <condition_variable>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -8,15 +10,127 @@
 
 #include "comm/context.hpp"
 #include "util/error.hpp"
+#include "util/string_util.hpp"
 
 namespace pyhpc::comm {
 
 namespace {
 
-CommStats run_impl(int nranks, const std::function<void(Communicator&)>& fn) {
+// Lets the runner stop the watchdog promptly instead of waiting out a poll.
+struct WatchdogControl {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+
+  void request_stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    cv.notify_all();
+  }
+
+  // Returns true when asked to stop.
+  bool sleep(std::chrono::milliseconds period) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, period, [this] { return stop; });
+  }
+};
+
+std::string describe_source(int source) {
+  return source == kAnySource ? std::string("any") : std::to_string(source);
+}
+std::string describe_tag(int tag) {
+  return tag == kAnyTag ? std::string("any") : std::to_string(tag);
+}
+
+std::string build_deadlock_report(const Context& ctx,
+                                  const std::vector<Mailbox::WaitInfo>& info) {
+  const int n = static_cast<int>(info.size());
+  int live = 0;
+  for (int r = 0; r < n; ++r) {
+    if (!ctx.is_done(r)) ++live;
+  }
+  std::string report = util::cat(
+      "deadlock detected: all ", live,
+      " live ranks blocked with no matching messages in flight\n");
+  for (int r = 0; r < n; ++r) {
+    if (ctx.is_done(r)) {
+      report += util::cat("  rank ", r,
+                          ctx.is_killed(r) ? ": died (fault injection)\n"
+                                           : ": finished\n");
+    } else {
+      report += util::cat("  rank ", r, " waits on (source ",
+                          describe_source(info[static_cast<std::size_t>(r)].source),
+                          ", tag ",
+                          describe_tag(info[static_cast<std::size_t>(r)].tag),
+                          ")\n");
+    }
+  }
+  return report;
+}
+
+// Deadlock criterion: every not-done rank is blocked in a recv/probe with
+// no deadline, no blocked rank has a matching message queued, and the
+// whole picture is identical across two consecutive samples (wait epochs
+// included — a rank that woke and re-blocked in between changes its
+// epoch). Only ranks can send, so if all of them are blocked and nothing
+// matches, no progress is possible: report and abort.
+void watchdog_loop(const std::shared_ptr<Context>& ctx,
+                   WatchdogControl& control) {
+  const auto poll = std::max<std::chrono::milliseconds>(
+      ctx->config().watchdog_poll, std::chrono::milliseconds(10));
+  const int n = ctx->size();
+  std::vector<Mailbox::WaitInfo> prev;
+  bool prev_blocked = false;
+  for (;;) {
+    if (control.sleep(poll)) return;
+    if (ctx->abort_flag().load(std::memory_order_relaxed)) return;
+
+    std::vector<Mailbox::WaitInfo> cur(static_cast<std::size_t>(n));
+    bool all_blocked = true;
+    int live = 0;
+    for (int r = 0; r < n && all_blocked; ++r) {
+      if (ctx->is_done(r)) continue;
+      ++live;
+      cur[static_cast<std::size_t>(r)] = ctx->mailbox(r).wait_info();
+      const auto& w = cur[static_cast<std::size_t>(r)];
+      // A waiter with a deadline unblocks itself; don't call it deadlock.
+      if (!w.waiting || w.has_deadline) all_blocked = false;
+    }
+    if (live == 0) return;
+    if (all_blocked) {
+      for (int r = 0; r < n && all_blocked; ++r) {
+        if (ctx->is_done(r)) continue;
+        const auto& w = cur[static_cast<std::size_t>(r)];
+        if (ctx->mailbox(r).try_probe(w.source, w.tag).has_value()) {
+          all_blocked = false;  // a match is queued; the rank will wake
+        }
+      }
+    }
+    if (all_blocked && prev_blocked && prev.size() == cur.size()) {
+      bool stable = true;
+      for (int r = 0; r < n && stable; ++r) {
+        if (ctx->is_done(r)) continue;
+        const auto& a = prev[static_cast<std::size_t>(r)];
+        const auto& b = cur[static_cast<std::size_t>(r)];
+        if (!a.waiting || a.epoch != b.epoch) stable = false;
+      }
+      if (stable) {
+        ctx->fail_deadlock(build_deadlock_report(*ctx, cur));
+        return;
+      }
+    }
+    prev = std::move(cur);
+    prev_blocked = all_blocked;
+  }
+}
+
+CommStats run_impl(int nranks, const CommConfig& config,
+                   const std::function<void(Communicator&)>& fn) {
   require(nranks >= 1, "comm::run: need at least one rank");
 
-  auto ctx = std::make_shared<Context>(nranks);
+  auto ctx = std::make_shared<Context>(nranks, config);
   std::mutex error_mu;
   std::exception_ptr first_error;
   int first_error_rank = -1;
@@ -25,6 +139,9 @@ CommStats run_impl(int nranks, const std::function<void(Communicator&)>& fn) {
     try {
       Communicator comm(ctx, rank);
       fn(comm);
+    } catch (const RankKilledError&) {
+      // Simulated crash of this rank alone: it vanishes, the world keeps
+      // running. Drivers observe the death via Communicator::rank_dead.
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(error_mu);
@@ -39,13 +156,33 @@ CommStats run_impl(int nranks, const std::function<void(Communicator&)>& fn) {
       }
       ctx->abort();
     }
+    ctx->mark_done(rank);
   };
+
+  WatchdogControl watchdog_control;
+  std::thread watchdog;
+  if (config.watchdog && nranks >= 2) {
+    watchdog = std::thread(watchdog_loop, ctx, std::ref(watchdog_control));
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 1; r < nranks; ++r) threads.emplace_back(body, r);
   body(0);  // rank 0 runs on the calling thread
   for (auto& t : threads) t.join();
+
+  if (watchdog.joinable()) {
+    watchdog_control.request_stop();
+    watchdog.join();
+  }
+
+  // Fold mailbox occupancy high-water marks into the per-rank stats now
+  // that no rank is running.
+  for (int r = 0; r < nranks; ++r) {
+    auto& s = ctx->stats(r);
+    s.mailbox_highwater_bytes = std::max<std::uint64_t>(
+        s.mailbox_highwater_bytes, ctx->mailbox(r).highwater_bytes());
+  }
 
   if (first_error) std::rethrow_exception(first_error);
 
@@ -57,12 +194,22 @@ CommStats run_impl(int nranks, const std::function<void(Communicator&)>& fn) {
 }  // namespace
 
 void run(int nranks, const std::function<void(Communicator&)>& fn) {
-  (void)run_impl(nranks, fn);
+  (void)run_impl(nranks, CommConfig{}, fn);
+}
+
+void run(int nranks, const CommConfig& config,
+         const std::function<void(Communicator&)>& fn) {
+  (void)run_impl(nranks, config, fn);
 }
 
 CommStats run_with_stats(int nranks,
                          const std::function<void(Communicator&)>& fn) {
-  return run_impl(nranks, fn);
+  return run_impl(nranks, CommConfig{}, fn);
+}
+
+CommStats run_with_stats(int nranks, const CommConfig& config,
+                         const std::function<void(Communicator&)>& fn) {
+  return run_impl(nranks, config, fn);
 }
 
 }  // namespace pyhpc::comm

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "comm/communicator.hpp"
+#include "comm/config.hpp"
 #include "comm/stats.hpp"
 
 namespace pyhpc::comm {
@@ -12,11 +13,27 @@ namespace pyhpc::comm {
 /// Runs `fn(comm)` on `nranks` threads, each with its own rank of a shared
 /// world. Blocks until every rank returns. If any rank throws, the world is
 /// aborted (blocked ranks unblock with CommError) and the first rank's
-/// exception is rethrown here after all threads join.
+/// exception is rethrown here after all threads join — except a rank dying
+/// of RankKilledError (fault injection), which is contained: that rank
+/// simply stops and the rest of the world keeps running.
+///
+/// Unless disabled via CommConfig, a watchdog thread observes per-rank
+/// blocked state and aborts the world with a who-waits-on-whom
+/// DeadlockError once every live rank is blocked (without a deadline) and
+/// nothing is in flight, so a wedged program fails loudly instead of
+/// hanging forever.
 void run(int nranks, const std::function<void(Communicator&)>& fn);
 
-/// As `run`, but returns the world-aggregated communication statistics.
+/// As `run`, with an explicit communication policy (receive deadlines,
+/// watchdog tuning, fault injection).
+void run(int nranks, const CommConfig& config,
+         const std::function<void(Communicator&)>& fn);
+
+/// As `run`, but returns the world-aggregated communication statistics
+/// (including each mailbox's byte high-water mark).
 CommStats run_with_stats(int nranks,
+                         const std::function<void(Communicator&)>& fn);
+CommStats run_with_stats(int nranks, const CommConfig& config,
                          const std::function<void(Communicator&)>& fn);
 
 }  // namespace pyhpc::comm

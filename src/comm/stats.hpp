@@ -8,6 +8,7 @@
 // control messages, shuffle volume) regardless of how fast the host is.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -26,6 +27,16 @@ struct CommStats {
   std::uint64_t coll_bytes_received = 0;
   // Number of collective operations entered.
   std::uint64_t collectives = 0;
+  // Resilience counters (detection side — what the layer *observed*; the
+  // injection side lives in FaultInjector::counts).
+  std::uint64_t retries = 0;              // payload retransmissions
+  std::uint64_t timeouts = 0;             // recv/probe deadline expiries
+  std::uint64_t drops_detected = 0;       // losses inferred from missing acks
+  std::uint64_t corruption_detected = 0;  // checksum mismatches caught
+  // Largest number of payload bytes ever buffered in one mailbox —
+  // observability for unbounded eager-send buffering (aggregated with max,
+  // not sum).
+  std::uint64_t mailbox_highwater_bytes = 0;
 
   std::uint64_t total_messages_sent() const {
     return p2p_messages_sent + coll_messages_sent;
@@ -46,6 +57,12 @@ struct CommStats {
     coll_messages_received += o.coll_messages_received;
     coll_bytes_received += o.coll_bytes_received;
     collectives += o.collectives;
+    retries += o.retries;
+    timeouts += o.timeouts;
+    drops_detected += o.drops_detected;
+    corruption_detected += o.corruption_detected;
+    mailbox_highwater_bytes =
+        std::max(mailbox_highwater_bytes, o.mailbox_highwater_bytes);
     return *this;
   }
 

@@ -2,17 +2,59 @@
 
 #include "odin/ufunc.hpp"
 #include "util/random.hpp"
+#include "util/string_util.hpp"
 
 namespace pyhpc::odin {
 
 namespace {
-constexpr int kControlTag = 9001;
-constexpr int kReplyTag = 9002;
+
+// Wire format of one control payload: an 8-byte little-endian-native
+// sequence number followed by the packed ControlMessages.
+constexpr std::size_t kSeqHeaderBytes = sizeof(std::uint64_t);
+
+std::vector<std::byte> encode_payload(const std::vector<ControlMessage>& batch,
+                                      std::uint64_t seq) {
+  std::vector<std::byte> raw(kSeqHeaderBytes +
+                             batch.size() * sizeof(ControlMessage));
+  std::memcpy(raw.data(), &seq, kSeqHeaderBytes);
+  if (!batch.empty()) {
+    std::memcpy(raw.data() + kSeqHeaderBytes, batch.data(),
+                batch.size() * sizeof(ControlMessage));
+  }
+  return raw;
+}
+
+std::uint64_t decode_payload(const std::vector<std::byte>& raw,
+                             std::vector<ControlMessage>& batch) {
+  require<CommError>(
+      raw.size() >= kSeqHeaderBytes &&
+          (raw.size() - kSeqHeaderBytes) % sizeof(ControlMessage) == 0,
+      "worker: malformed control payload");
+  std::uint64_t seq = 0;
+  std::memcpy(&seq, raw.data(), kSeqHeaderBytes);
+  batch.resize((raw.size() - kSeqHeaderBytes) / sizeof(ControlMessage));
+  if (!batch.empty()) {
+    std::memcpy(batch.data(), raw.data() + kSeqHeaderBytes,
+                batch.size() * sizeof(ControlMessage));
+  }
+  return seq;
+}
+
 }  // namespace
 
 DriverContext::DriverContext(comm::Communicator& comm) : comm_(&comm) {
   require(comm.size() >= 2,
           "DriverContext: need at least one worker besides the driver");
+  opts_.reliable = false;
+}
+
+DriverContext::DriverContext(comm::Communicator& comm,
+                             const DriverOptions& options)
+    : comm_(&comm), opts_(options) {
+  require(comm.size() >= 2,
+          "DriverContext: need at least one worker besides the driver");
+  require(opts_.max_retries >= 0,
+          "DriverOptions: max_retries must be >= 0");
 }
 
 // Workers partition [0, n) in near-equal blocks by worker index.
@@ -30,12 +72,63 @@ std::int64_t DriverContext::local_offset(std::int64_t n) const {
   return static_cast<std::int64_t>(w) * chunk + std::min<std::int64_t>(w, rem);
 }
 
+void DriverContext::raise_worker_lost(int worker, const char* during) const {
+  throw WorkerLostError(util::cat("worker rank ", worker, " died during ",
+                                  during,
+                                  " (fault injection or crash); its segment "
+                                  "data is lost"));
+}
+
 void DriverContext::send_payload(int worker,
-                                 const std::vector<ControlMessage>& batch) {
-  comm_->send(std::span<const ControlMessage>(batch), worker, kControlTag);
+                                 const std::vector<ControlMessage>& batch,
+                                 std::uint64_t seq) {
+  const auto raw = encode_payload(batch, seq);
+  comm_->send_bytes(raw, worker, kControlTag);
   ++payloads_;
   messages_ += batch.size();
   bytes_ += batch.size() * sizeof(ControlMessage);
+}
+
+void DriverContext::await_ack_or_retry(
+    int worker, const std::vector<ControlMessage>& batch, std::uint64_t seq) {
+  for (int attempt = 0; attempt <= opts_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      auto& s = comm_->stats();
+      ++s.retries;
+      ++s.drops_detected;  // a missing ack means payload or ack was lost
+      send_payload(worker, batch, seq);
+    }
+    try {
+      for (;;) {
+        const auto ack = comm_->recv_value_within<std::uint64_t>(
+            opts_.ack_timeout, worker, kAckTag);
+        if (ack >= seq) return;
+        // Stale ack from an earlier duplicate delivery; keep waiting.
+      }
+    } catch (const RecvTimeoutError&) {
+      if (comm_->rank_dead(worker)) {
+        raise_worker_lost(worker, "control payload acknowledgement");
+      }
+      // Lost payload or lost ack: fall through and retransmit.
+    } catch (const CommIntegrityError&) {
+      // Corrupted ack: treat as lost and retransmit. (The worker dedups the
+      // retransmission by sequence number and simply re-acks.)
+    }
+  }
+  throw CommError(util::cat("driver: no ack from worker rank ", worker,
+                            " for control payload ", seq, " after ",
+                            opts_.max_retries, " retries"));
+}
+
+void DriverContext::ship(const std::vector<ControlMessage>& batch) {
+  if (batch.empty()) return;
+  const std::uint64_t seq = ++seq_;
+  for (int w = 1; w < comm_->size(); ++w) send_payload(w, batch, seq);
+  if (opts_.reliable) {
+    for (int w = 1; w < comm_->size(); ++w) {
+      await_ack_or_retry(w, batch, seq);
+    }
+  }
 }
 
 void DriverContext::post(const ControlMessage& msg) {
@@ -44,8 +137,7 @@ void DriverContext::post(const ControlMessage& msg) {
     queue_.push_back(msg);
     return;
   }
-  const std::vector<ControlMessage> single{msg};
-  for (int w = 1; w < comm_->size(); ++w) send_payload(w, single);
+  ship({msg});
 }
 
 void DriverContext::begin_batch() {
@@ -57,7 +149,7 @@ void DriverContext::flush_batch() {
   require(is_driver(), "DriverContext: flush_batch is driver-side only");
   batching_ = false;
   if (queue_.empty()) return;
-  for (int w = 1; w < comm_->size(); ++w) send_payload(w, queue_);
+  ship(queue_);
   queue_.clear();
 }
 
@@ -128,7 +220,18 @@ double DriverContext::reduce_sum(int a) {
   post(m);
   double total = 0.0;
   for (int w = 1; w < comm_->size(); ++w) {
-    total += comm_->recv_value<double>(w, kReplyTag);
+    if (comm_->rank_dead(w)) raise_worker_lost(w, "reduce_sum");
+    if (opts_.reliable) {
+      try {
+        total += comm_->recv_value_within<double>(opts_.reply_timeout, w,
+                                                  kReplyTag);
+      } catch (const RecvTimeoutError&) {
+        if (comm_->rank_dead(w)) raise_worker_lost(w, "reduce_sum");
+        throw;
+      }
+    } else {
+      total += comm_->recv_value<double>(w, kReplyTag);
+    }
   }
   return total;
 }
@@ -137,17 +240,57 @@ void DriverContext::shutdown() {
   if (batching_) flush_batch();
   ControlMessage m;
   m.op = ControlMessage::Op::kShutdown;
-  post(m);
+  // Inline ship() so one dead worker cannot stop the shutdown from
+  // reaching the live ones: deliver everywhere first, collect acks from
+  // live workers, then report the first casualty.
+  const std::vector<ControlMessage> batch{m};
+  const std::uint64_t seq = ++seq_;
+  for (int w = 1; w < comm_->size(); ++w) send_payload(w, batch, seq);
+  int first_dead = -1;
+  if (opts_.reliable) {
+    for (int w = 1; w < comm_->size(); ++w) {
+      if (comm_->rank_dead(w)) {
+        if (first_dead < 0) first_dead = w;
+        continue;
+      }
+      try {
+        await_ack_or_retry(w, batch, seq);
+      } catch (const WorkerLostError&) {
+        if (first_dead < 0) first_dead = w;
+      }
+    }
+  }
+  if (first_dead >= 0) raise_worker_lost(first_dead, "shutdown");
 }
 
 void DriverContext::worker_loop() {
   require(!is_driver(), "DriverContext: worker_loop is worker-side only");
   bool running = true;
   while (running) {
-    auto batch = comm_->recv_vector<ControlMessage>(0, kControlTag);
+    std::vector<std::byte> raw;
+    try {
+      comm_->recv_bytes(raw, 0, kControlTag);
+    } catch (const CommIntegrityError&) {
+      // Corrupted payload: discard it (counted in CommStats by the
+      // receive path). In reliable mode the driver retransmits on the
+      // missing ack; in legacy mode the loss is silent, as on a real NIC.
+      continue;
+    }
+    std::vector<ControlMessage> batch;
+    const std::uint64_t seq = decode_payload(raw, batch);
+    if (opts_.reliable && seq <= last_seq_) {
+      // Retransmission or injected duplicate of a payload already
+      // executed: just re-ack so the driver stops retrying.
+      comm_->send_value<std::uint64_t>(seq, 0, kAckTag);
+      continue;
+    }
+    last_seq_ = seq;
     for (const auto& msg : batch) {
       execute(msg, running);
       if (!running) break;
+    }
+    if (opts_.reliable) {
+      comm_->send_value<std::uint64_t>(seq, 0, kAckTag);
     }
   }
 }

@@ -11,8 +11,18 @@
 // mode elsewhere in the library derives each op descriptor locally instead
 // of shipping it — bench_fig1 measures the difference (including the
 // driver-bottleneck effect the paper warns about).
+//
+// Reliability: control payloads carry a monotone sequence number. In
+// reliable mode (DriverOptions) workers acknowledge each payload after
+// executing it; the driver retries unacknowledged payloads (bounded), and
+// workers deduplicate retransmissions/injected duplicates by sequence
+// number. A worker that dies (fault injection) surfaces as WorkerLostError
+// naming the dead rank — reduce_sum and shutdown degrade gracefully
+// instead of deadlocking. See DESIGN.md "Failure model and fault
+// injection".
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -23,6 +33,12 @@
 #include "util/error.hpp"
 
 namespace pyhpc::odin {
+
+/// Tags of the driver/worker control plane (public so fault-injection
+/// rules can target them).
+inline constexpr int kControlTag = 9001;  // driver -> worker payloads
+inline constexpr int kReplyTag = 9002;    // worker -> driver reduce partials
+inline constexpr int kAckTag = 9003;      // worker -> driver payload acks
 
 /// Fixed-size control message ("at most tens of bytes").
 struct ControlMessage {
@@ -55,15 +71,35 @@ struct ControlMessage {
 static_assert(sizeof(ControlMessage) <= 48,
               "control messages must stay at tens of bytes");
 
+/// Reliability policy for the control plane.
+struct DriverOptions {
+  /// Acks + bounded retransmission + duplicate suppression. The legacy
+  /// DriverContext(comm) constructor turns this off (fire-and-forget, the
+  /// paper's minimal protocol).
+  bool reliable = true;
+  /// How long the driver waits for a payload ack before retransmitting.
+  std::chrono::milliseconds ack_timeout{250};
+  /// Retransmissions per payload before giving up with CommError.
+  int max_retries = 8;
+  /// Deadline for a worker's reduce partial (covers compute time).
+  std::chrono::milliseconds reply_timeout{5000};
+};
+
 /// Driver-side API (valid on rank 0) plus the worker loop (ranks > 0).
 class DriverContext {
  public:
+  /// Legacy fire-and-forget control plane (no acks, no retries).
   explicit DriverContext(comm::Communicator& comm);
+  /// Hardened control plane; all ranks must construct with equal options.
+  DriverContext(comm::Communicator& comm, const DriverOptions& options);
 
   bool is_driver() const { return comm_->rank() == 0; }
   int num_workers() const { return comm_->size() - 1; }
 
   /// Workers block here executing control messages until kShutdown.
+  /// Corrupted payloads (CommIntegrityError) are discarded like a NIC
+  /// dropping a bad-CRC frame; in reliable mode the missing ack makes the
+  /// driver retransmit.
   void worker_loop();
 
   // ---- driver-side operations (each ships one message per worker) -------
@@ -75,8 +111,11 @@ class DriverContext {
   int binary(const std::string& ufunc, int a, int b);
   int axpy(double alpha, int x, int y);
   void free_array(int id);
-  /// Sum-reduce: workers reply with partials the driver folds.
+  /// Sum-reduce: workers reply with partials the driver folds. Raises
+  /// WorkerLostError naming the rank when a worker has died.
   double reduce_sum(int a);
+  /// Delivers shutdown to every live worker, then raises WorkerLostError
+  /// (naming the first dead rank) if any worker died along the way.
   void shutdown();
 
   // ---- message batching (the paper's buffering optimization) ------------
@@ -88,13 +127,21 @@ class DriverContext {
   bool batching() const { return batching_; }
 
   /// Driver-side count of control messages and bytes shipped (for F1).
+  /// Counts logical ControlMessage traffic; retransmissions count again,
+  /// the 8-byte sequence framing does not.
   std::uint64_t control_messages_sent() const { return messages_; }
   std::uint64_t control_bytes_sent() const { return bytes_; }
   std::uint64_t payloads_sent() const { return payloads_; }
 
  private:
   void post(const ControlMessage& msg);
-  void send_payload(int worker, const std::vector<ControlMessage>& batch);
+  void ship(const std::vector<ControlMessage>& batch);
+  void send_payload(int worker, const std::vector<ControlMessage>& batch,
+                    std::uint64_t seq);
+  void await_ack_or_retry(int worker,
+                          const std::vector<ControlMessage>& batch,
+                          std::uint64_t seq);
+  [[noreturn]] void raise_worker_lost(int worker, const char* during) const;
   int fresh_id() { return next_id_++; }
 
   // Worker-side helpers.
@@ -103,12 +150,15 @@ class DriverContext {
   std::int64_t local_offset(std::int64_t n) const;
 
   comm::Communicator* comm_;
+  DriverOptions opts_;
   int next_id_ = 1;
   bool batching_ = false;
   std::vector<ControlMessage> queue_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t payloads_ = 0;
+  std::uint64_t seq_ = 0;       // driver: last payload sequence issued
+  std::uint64_t last_seq_ = 0;  // worker: last payload sequence executed
   // Worker-side storage: array id -> local segment.
   std::map<int, std::vector<double>> segments_;
 };

@@ -28,6 +28,42 @@ class CommError : public Error {
   explicit CommError(const std::string& what) : Error(what) {}
 };
 
+/// An envelope arrived whose checksum does not match its contents (detected
+/// wire corruption — injected by comm::FaultInjector or a genuine bug).
+class CommIntegrityError : public CommError {
+ public:
+  explicit CommIntegrityError(const std::string& what) : CommError(what) {}
+};
+
+/// A blocking receive/probe exceeded its deadline. Distinct from the abort
+/// path so callers can retry (the ODIN driver's ack protocol does).
+class RecvTimeoutError : public CommError {
+ public:
+  explicit RecvTimeoutError(const std::string& what) : CommError(what) {}
+};
+
+/// The runner watchdog found every live rank blocked with nothing in
+/// flight; carries the who-waits-on-whom report.
+class DeadlockError : public CommError {
+ public:
+  explicit DeadlockError(const std::string& what) : CommError(what) {}
+};
+
+/// Thrown inside a rank that has been killed by fault injection the next
+/// time it touches the substrate; the runner treats it as a simulated crash
+/// of that rank alone, not a world abort.
+class RankKilledError : public CommError {
+ public:
+  explicit RankKilledError(const std::string& what) : CommError(what) {}
+};
+
+/// The ODIN driver lost a worker rank (it died or stopped acknowledging);
+/// names the dead rank so callers can degrade gracefully.
+class WorkerLostError : public CommError {
+ public:
+  explicit WorkerLostError(const std::string& what) : CommError(what) {}
+};
+
 /// Distributed-object inconsistency (incompatible maps, not fill-complete...).
 class MapError : public Error {
  public:

@@ -1,0 +1,489 @@
+// Fault-injection and failure-containment tests: deterministic drop /
+// delay / duplicate / corrupt / kill-rank injection, receive deadlines,
+// the deadlock watchdog, and the hardened ODIN driver protocol
+// (seq/ack/retry, WorkerLostError). Registered under the `faults` CTest
+// label: `ctest -L faults`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "comm/config.hpp"
+#include "comm/fault.hpp"
+#include "comm/runner.hpp"
+#include "odin/driver.hpp"
+#include "util/error.hpp"
+
+namespace pc = pyhpc::comm;
+namespace od = pyhpc::odin;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+pc::CommConfig config_with(std::shared_ptr<pc::FaultInjector> injector) {
+  pc::CommConfig cfg;
+  cfg.injector = std::move(injector);
+  return cfg;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Receive deadlines
+// ---------------------------------------------------------------------------
+
+TEST(RecvTimeout, ExplicitDeadlineRaisesAndCounts) {
+  pc::run(2, [](pc::Communicator& comm) {
+    if (comm.rank() != 0) return;  // rank 1 never sends
+    EXPECT_THROW((void)comm.recv_value_within<int>(60ms, 1, 7),
+                 pyhpc::RecvTimeoutError);
+    EXPECT_EQ(comm.stats().timeouts, 1u);
+  });
+}
+
+TEST(RecvTimeout, ConfigDefaultDeadlineAppliesToPlainRecv) {
+  pc::CommConfig cfg;
+  cfg.recv_timeout = 60ms;
+  EXPECT_THROW(pc::run(2, cfg,
+                       [](pc::Communicator& comm) {
+                         if (comm.rank() != 0) return;
+                         (void)comm.recv_value<int>(1, 7);
+                       }),
+               pyhpc::RecvTimeoutError);
+}
+
+TEST(RecvTimeout, ProbeHonoursDeadline) {
+  pc::CommConfig cfg;
+  cfg.recv_timeout = 60ms;
+  EXPECT_THROW(pc::run(2, cfg,
+                       [](pc::Communicator& comm) {
+                         if (comm.rank() != 0) return;
+                         (void)comm.probe(1, 7);
+                       }),
+               pyhpc::RecvTimeoutError);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: drop / duplicate / corrupt / delay
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, DropSwallowsTheMessage) {
+  auto inj = std::make_shared<pc::FaultInjector>(/*seed=*/1);
+  pc::FaultRule rule;
+  rule.kind = pc::FaultKind::kDrop;
+  rule.source = 1;
+  rule.dest = 0;
+  rule.tag = 5;
+  inj->add_rule(rule);
+  pc::run(2, config_with(inj), [](pc::Communicator& comm) {
+    if (comm.rank() == 1) {
+      comm.send_value<int>(42, 0, 5);
+      comm.send_value<int>(43, 0, 6);  // different tag: unaffected
+      return;
+    }
+    EXPECT_EQ(comm.recv_value<int>(1, 6), 43);
+    EXPECT_THROW((void)comm.recv_value_within<int>(80ms, 1, 5),
+                 pyhpc::RecvTimeoutError);
+  });
+  EXPECT_EQ(inj->counts().drops, 1u);
+}
+
+TEST(FaultInjection, DuplicateDeliversTwice) {
+  auto inj = std::make_shared<pc::FaultInjector>(1);
+  pc::FaultRule rule;
+  rule.kind = pc::FaultKind::kDuplicate;
+  rule.source = 1;
+  rule.dest = 0;
+  rule.tag = 6;
+  inj->add_rule(rule);
+  pc::run(2, config_with(inj), [](pc::Communicator& comm) {
+    if (comm.rank() == 1) {
+      comm.send_value<int>(7, 0, 6);
+      return;
+    }
+    EXPECT_EQ(comm.recv_value<int>(1, 6), 7);
+    EXPECT_EQ(comm.recv_value<int>(1, 6), 7);  // the injected copy
+  });
+  EXPECT_EQ(inj->counts().duplicates, 1u);
+}
+
+TEST(FaultInjection, CorruptionIsDetectedNotDecoded) {
+  auto inj = std::make_shared<pc::FaultInjector>(1);
+  pc::FaultRule rule;
+  rule.kind = pc::FaultKind::kCorrupt;
+  rule.source = 1;
+  rule.dest = 0;
+  rule.tag = 5;
+  inj->add_rule(rule);
+  pc::run(2, config_with(inj), [](pc::Communicator& comm) {
+    if (comm.rank() == 1) {
+      comm.send_value<double>(3.25, 0, 5);
+      return;
+    }
+    EXPECT_THROW((void)comm.recv_value<double>(1, 5),
+                 pyhpc::CommIntegrityError);
+    EXPECT_EQ(comm.stats().corruption_detected, 1u);
+  });
+  EXPECT_EQ(inj->counts().corruptions, 1u);
+}
+
+TEST(FaultInjection, DelayStallsButDelivers) {
+  auto inj = std::make_shared<pc::FaultInjector>(1);
+  pc::FaultRule rule;
+  rule.kind = pc::FaultKind::kDelay;
+  rule.source = 1;
+  rule.dest = 0;
+  rule.tag = 5;
+  rule.delay = 50ms;
+  inj->add_rule(rule);
+  pc::run(2, config_with(inj), [](pc::Communicator& comm) {
+    if (comm.rank() == 1) {
+      comm.send_value<int>(9, 0, 5);
+      return;
+    }
+    EXPECT_EQ(comm.recv_value<int>(1, 5), 9);
+  });
+  EXPECT_EQ(inj->counts().delays, 1u);
+}
+
+TEST(FaultInjection, ProbabilityAndSkipAreDeterministic) {
+  // Same seed, same traffic -> bit-identical fault pattern.
+  pc::FaultCounts first;
+  for (int trial = 0; trial < 2; ++trial) {
+    auto inj = std::make_shared<pc::FaultInjector>(/*seed=*/99);
+    pc::FaultRule rule;
+    rule.kind = pc::FaultKind::kDrop;
+    rule.source = 1;
+    rule.dest = 0;
+    rule.tag = 3;
+    rule.probability = 0.5;
+    rule.skip_first = 4;
+    inj->add_rule(rule);
+    pc::run(2, config_with(inj), [](pc::Communicator& comm) {
+      if (comm.rank() == 1) {
+        for (int i = 0; i < 40; ++i) comm.send_value<int>(i, 0, 3);
+        comm.send_value<int>(-1, 0, 4);  // end marker, unaffected tag
+        return;
+      }
+      int received = 0;
+      for (;;) {
+        auto st = comm.probe(1, pc::kAnyTag);
+        if (st.tag == 4) break;
+        (void)comm.recv_value<int>(1, 3);
+        ++received;
+      }
+      EXPECT_GE(received, 4);  // skip_first messages always arrive
+      EXPECT_LT(received, 40);  // some were dropped
+    });
+    if (trial == 0) {
+      first = inj->counts();
+      EXPECT_GT(first.drops, 0u);
+    } else {
+      EXPECT_EQ(inj->counts().drops, first.drops);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kill-rank containment
+// ---------------------------------------------------------------------------
+
+TEST(KillRank, DeathIsContainedAndObservable) {
+  auto inj = std::make_shared<pc::FaultInjector>(1);
+  pc::FaultRule rule;
+  rule.kind = pc::FaultKind::kKillRank;
+  rule.source = 1;
+  rule.dest = 0;
+  rule.tag = 9;
+  rule.skip_first = 3;  // kill rank 1 on its 4th message
+  rule.max_applications = 1;
+  rule.victim = 1;
+  inj->add_rule(rule);
+  // The run completes without throwing: rank 1's death is contained.
+  pc::run(2, config_with(inj), [](pc::Communicator& comm) {
+    if (comm.rank() == 1) {
+      // Dies on the 4th send: either RankKilledError surfaces on a later
+      // send or the loop just ends; the runner swallows the death.
+      for (int i = 0; i < 10; ++i) {
+        comm.send_value<int>(i, 0, 9);
+        std::this_thread::sleep_for(1ms);
+      }
+      return;
+    }
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(comm.recv_value<int>(1, 9), i);
+    // The 4th message went down with the rank; nothing more arrives.
+    EXPECT_THROW((void)comm.recv_value_within<int>(150ms, 1, 9),
+                 pyhpc::RecvTimeoutError);
+    EXPECT_TRUE(comm.rank_dead(1));
+  });
+  EXPECT_EQ(inj->counts().kills, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock watchdog
+// ---------------------------------------------------------------------------
+
+TEST(DeadlockWatchdog, CrossRecvCycleAbortsWithReport) {
+  pc::CommConfig cfg;
+  cfg.watchdog_poll = 40ms;
+  try {
+    pc::run(3, cfg, [](pc::Communicator& comm) {
+      // Classic cycle: everyone receives from the next rank, nobody sends.
+      (void)comm.recv_value<int>((comm.rank() + 1) % comm.size(), 11);
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const pyhpc::DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock detected"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0 waits on (source 1, tag 11)"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("rank 2 waits on (source 0, tag 11)"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(DeadlockWatchdog, FinishedRanksAppearInReport) {
+  pc::CommConfig cfg;
+  cfg.watchdog_poll = 40ms;
+  try {
+    pc::run(2, cfg, [](pc::Communicator& comm) {
+      if (comm.rank() == 1) return;  // exits without ever sending
+      (void)comm.recv_value<int>(1, 3);
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const pyhpc::DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 0 waits on (source 1, tag 3)"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("rank 1: finished"), std::string::npos) << what;
+  }
+}
+
+TEST(DeadlockWatchdog, DoesNotFireOnHealthyTraffic) {
+  pc::CommConfig cfg;
+  cfg.watchdog_poll = 20ms;
+  // Slow ping-pong: ranks block alternately well past several watchdog
+  // polls, but a deadline-free deadlock never exists.
+  pc::run(2, cfg, [](pc::Communicator& comm) {
+    for (int i = 0; i < 4; ++i) {
+      if (comm.rank() == 0) {
+        comm.send_value<int>(i, 1, 2);
+        std::this_thread::sleep_for(30ms);
+        EXPECT_EQ(comm.recv_value<int>(1, 2), i);
+      } else {
+        EXPECT_EQ(comm.recv_value<int>(0, 2), i);
+        std::this_thread::sleep_for(30ms);
+        comm.send_value<int>(i, 0, 2);
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Mailbox byte accounting
+// ---------------------------------------------------------------------------
+
+TEST(MailboxAccounting, HighWaterMarkReachesStats) {
+  const auto stats = pc::run_with_stats(2, [](pc::Communicator& comm) {
+    if (comm.rank() == 1) {
+      std::vector<double> chunk(32, 1.0);  // 256 B per message
+      for (int i = 0; i < 5; ++i) {
+        comm.send(std::span<const double>(chunk), 0, 4);
+      }
+      return;
+    }
+    // Wait until all five messages are buffered, observing queued_bytes().
+    while (comm.queued_bytes() < 5 * 32 * sizeof(double)) {
+      std::this_thread::sleep_for(1ms);
+    }
+    for (int i = 0; i < 5; ++i) (void)comm.recv_vector<double>(1, 4);
+    EXPECT_EQ(comm.queued_bytes(), 0u);
+  });
+  EXPECT_GE(stats.mailbox_highwater_bytes, 5u * 32u * sizeof(double));
+}
+
+// ---------------------------------------------------------------------------
+// Hardened ODIN driver protocol
+// ---------------------------------------------------------------------------
+
+namespace {
+
+od::DriverOptions fast_driver_options() {
+  od::DriverOptions opts;
+  opts.ack_timeout = 60ms;
+  opts.max_retries = 12;
+  opts.reply_timeout = 1000ms;
+  return opts;
+}
+
+}  // namespace
+
+TEST(DriverFaults, HundredOpsCompleteThroughFivePercentDrops) {
+  auto inj = std::make_shared<pc::FaultInjector>(/*seed=*/2026);
+  pc::FaultRule rule;
+  rule.kind = pc::FaultKind::kDrop;
+  rule.source = 0;  // driver -> worker control payloads only
+  rule.tag = od::kControlTag;
+  rule.probability = 0.05;
+  inj->add_rule(rule);
+  const auto stats =
+      pc::run_with_stats(4, config_with(inj), [](pc::Communicator& comm) {
+        od::DriverContext ctx(comm, fast_driver_options());
+        if (!ctx.is_driver()) {
+          ctx.worker_loop();
+          return;
+        }
+        // 100 ops: one create + 99 chained axpys (v <- v + ones).
+        const std::int64_t n = 300;
+        const int ones = ctx.create_full(n, 1.0);
+        int cur = ones;
+        for (int i = 0; i < 99; ++i) cur = ctx.axpy(1.0, cur, ones);
+        // Every element is exactly 100.0 iff no op was lost.
+        EXPECT_NEAR(ctx.reduce_sum(cur), 100.0 * static_cast<double>(n),
+                    1e-9);
+        ctx.shutdown();
+      });
+  EXPECT_GT(inj->counts().drops, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_GT(stats.drops_detected, 0u);
+  EXPECT_EQ(stats.retries, stats.drops_detected);
+}
+
+TEST(DriverFaults, CorruptedControlPayloadsAreDiscardedAndRetried) {
+  auto inj = std::make_shared<pc::FaultInjector>(7);
+  pc::FaultRule rule;
+  rule.kind = pc::FaultKind::kCorrupt;
+  rule.source = 0;
+  rule.tag = od::kControlTag;
+  rule.probability = 0.1;
+  inj->add_rule(rule);
+  const auto stats =
+      pc::run_with_stats(3, config_with(inj), [](pc::Communicator& comm) {
+        od::DriverContext ctx(comm, fast_driver_options());
+        if (!ctx.is_driver()) {
+          ctx.worker_loop();
+          return;
+        }
+        const std::int64_t n = 100;
+        const int x = ctx.create_full(n, 2.0);
+        int cur = x;
+        for (int i = 0; i < 40; ++i) cur = ctx.unary("sqrt", cur);
+        // 2^(1/2^40) ~= 1.0; the exact value matters less than that every
+        // op executed exactly once on every worker.
+        EXPECT_NEAR(ctx.reduce_sum(cur), static_cast<double>(n), 1e-6);
+        ctx.shutdown();
+      });
+  EXPECT_GT(inj->counts().corruptions, 0u);
+  EXPECT_GT(stats.corruption_detected, 0u);
+  EXPECT_GT(stats.retries, 0u);
+}
+
+TEST(DriverFaults, DuplicatedPayloadsExecuteOnce) {
+  auto inj = std::make_shared<pc::FaultInjector>(5);
+  pc::FaultRule rule;
+  rule.kind = pc::FaultKind::kDuplicate;
+  rule.source = 0;
+  rule.tag = od::kControlTag;
+  rule.probability = 0.2;
+  inj->add_rule(rule);
+  pc::run(3, config_with(inj), [](pc::Communicator& comm) {
+    od::DriverContext ctx(comm, fast_driver_options());
+    if (!ctx.is_driver()) {
+      ctx.worker_loop();
+      return;
+    }
+    const std::int64_t n = 120;
+    const int ones = ctx.create_full(n, 1.0);
+    int cur = ones;
+    // axpy is not idempotent: if a duplicate executed twice the sum would
+    // drift from the exact expected value.
+    for (int i = 0; i < 30; ++i) cur = ctx.axpy(1.0, cur, ones);
+    EXPECT_NEAR(ctx.reduce_sum(cur), 31.0 * static_cast<double>(n), 1e-9);
+    ctx.shutdown();
+  });
+  EXPECT_GT(inj->counts().duplicates, 0u);
+}
+
+TEST(DriverFaults, WorkerDeathMidBatchRaisesWorkerLost) {
+  auto inj = std::make_shared<pc::FaultInjector>(1);
+  pc::FaultRule rule;
+  rule.kind = pc::FaultKind::kKillRank;
+  rule.source = 0;
+  rule.dest = 2;
+  rule.tag = od::kControlTag;
+  rule.skip_first = 2;  // worker rank 2 dies on the third payload
+  rule.max_applications = 1;
+  inj->add_rule(rule);
+  try {
+    pc::run(4, config_with(inj), [](pc::Communicator& comm) {
+      od::DriverContext ctx(comm, fast_driver_options());
+      if (!ctx.is_driver()) {
+        ctx.worker_loop();
+        return;
+      }
+      const int a = ctx.create_full(90, 1.0);
+      const int b = ctx.create_full(90, 2.0);
+      int cur = a;
+      for (int i = 0; i < 10; ++i) {
+        cur = ctx.axpy(1.0, cur, b);
+        (void)ctx.reduce_sum(cur);
+      }
+      FAIL() << "expected WorkerLostError";
+    });
+    FAIL() << "expected WorkerLostError to propagate out of run()";
+  } catch (const pyhpc::WorkerLostError& e) {
+    EXPECT_NE(std::string(e.what()).find("worker rank 2"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(inj->counts().kills, 1u);
+}
+
+TEST(DriverFaults, ShutdownReportsDeadWorkerButReachesLiveOnes) {
+  auto inj = std::make_shared<pc::FaultInjector>(1);
+  pc::FaultRule rule;
+  rule.kind = pc::FaultKind::kKillRank;
+  rule.source = 0;
+  rule.dest = 1;
+  rule.tag = od::kControlTag;
+  rule.skip_first = 1;
+  rule.max_applications = 1;
+  inj->add_rule(rule);
+  try {
+    pc::run(3, config_with(inj), [](pc::Communicator& comm) {
+      od::DriverContext ctx(comm, fast_driver_options());
+      if (!ctx.is_driver()) {
+        ctx.worker_loop();
+        return;
+      }
+      (void)ctx.create_full(50, 1.0);  // payload 1: delivered everywhere
+      try {
+        (void)ctx.create_full(50, 2.0);  // payload 2 kills rank 1
+      } catch (const pyhpc::WorkerLostError&) {
+        // Expected on the ack wait; shutdown must still work for rank 2.
+      }
+      ctx.shutdown();
+    });
+    FAIL() << "expected WorkerLostError from shutdown";
+  } catch (const pyhpc::WorkerLostError& e) {
+    EXPECT_NE(std::string(e.what()).find("worker rank 1"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DriverFaults, LegacyModeStillWorksUnchanged) {
+  pc::run(3, [](pc::Communicator& comm) {
+    od::DriverContext ctx(comm);  // fire-and-forget control plane
+    if (!ctx.is_driver()) {
+      ctx.worker_loop();
+      return;
+    }
+    const int x = ctx.create_full(60, 3.0);
+    EXPECT_NEAR(ctx.reduce_sum(x), 180.0, 1e-9);
+    ctx.shutdown();
+  });
+}
