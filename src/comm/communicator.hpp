@@ -23,6 +23,7 @@
 
 #include "comm/context.hpp"
 #include "comm/message.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 
@@ -260,6 +261,7 @@ class Communicator {
   // Reduction functors must be associative and commutative.
 
   void barrier() {
+    obs::Span span = coll_span("barrier", 0);
     const std::uint64_t seq = next_seq();
     const int p = size();
     for (int k = 1; k < p; k <<= 1) {
@@ -275,6 +277,7 @@ class Communicator {
   void broadcast(std::span<T> data, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_root(root);
+    obs::Span span = coll_span("broadcast", data.size_bytes());
     const std::uint64_t seq = next_seq();
     const int p = size();
     const int vrank = (rank_ - root + p) % p;
@@ -319,6 +322,7 @@ class Communicator {
   void reduce(std::span<const T> in, std::span<T> out, Op op, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_root(root);
+    obs::Span span = coll_span("reduce", in.size_bytes());
     const std::uint64_t seq = next_seq();
     const int p = size();
     const int vrank = (rank_ - root + p) % p;
@@ -362,6 +366,7 @@ class Communicator {
   void allreduce(std::span<const T> in, std::span<T> out, Op op) {
     require<CommError>(out.size() == in.size(),
                        "allreduce: output span has wrong size");
+    obs::Span span = coll_span("allreduce", in.size_bytes());
     reduce(in, out, op, 0);
     broadcast(out, 0);
   }
@@ -376,6 +381,7 @@ class Communicator {
   /// Inclusive prefix scan along rank order (chain algorithm).
   template <class T, class Op>
   T scan_inclusive(T value, Op op) {
+    obs::Span span = coll_span("scan_inclusive", sizeof(T));
     const std::uint64_t seq = next_seq();
     T acc = value;
     if (rank_ > 0) {
@@ -395,6 +401,7 @@ class Communicator {
   /// Exclusive prefix scan; rank 0 receives `identity`.
   template <class T, class Op>
   T scan_exclusive(T value, Op op, T identity) {
+    obs::Span span = coll_span("scan_exclusive", sizeof(T));
     const T inc = scan_inclusive(value, op);
     // Rotate: every rank wants the inclusive scan of the previous rank.
     const std::uint64_t seq = next_seq();
@@ -415,6 +422,7 @@ class Communicator {
   void gather(std::span<const T> mine, std::vector<T>& all, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_root(root);
+    obs::Span span = coll_span("gather", mine.size_bytes());
     const std::uint64_t seq = next_seq();
     if (rank_ == root) {
       all.assign(mine.size() * static_cast<std::size_t>(size()), T{});
@@ -438,6 +446,7 @@ class Communicator {
   std::vector<std::vector<T>> gatherv(std::span<const T> mine, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_root(root);
+    obs::Span span = coll_span("gatherv", mine.size_bytes());
     const std::uint64_t seq = next_seq();
     std::vector<std::vector<T>> chunks;
     if (rank_ == root) {
@@ -459,6 +468,7 @@ class Communicator {
   /// Gather + broadcast: every rank gets the rank-ordered concatenation.
   template <class T>
   std::vector<T> allgather(std::span<const T> mine) {
+    obs::Span span = coll_span("allgather", mine.size_bytes());
     std::vector<T> all;
     gather(mine, all, 0);
     std::uint64_t total = all.size();
@@ -476,6 +486,7 @@ class Communicator {
   /// Variable-count allgather; every rank gets all per-rank chunks.
   template <class T>
   std::vector<std::vector<T>> allgatherv(std::span<const T> mine) {
+    obs::Span span = coll_span("allgatherv", mine.size_bytes());
     auto counts = allgather_value<std::uint64_t>(mine.size());
     std::vector<T> flat = allgather_concat(mine, counts);
     std::vector<std::vector<T>> chunks(counts.size());
@@ -493,6 +504,7 @@ class Communicator {
   void scatter(std::span<const T> all, std::span<T> mine, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_root(root);
+    obs::Span span = coll_span("scatter", mine.size_bytes());
     const std::uint64_t seq = next_seq();
     if (rank_ == root) {
       require<CommError>(all.size() ==
@@ -518,6 +530,7 @@ class Communicator {
   std::vector<T> scatterv(const std::vector<std::vector<T>>& parts, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_root(root);
+    obs::Span span = coll_span("scatterv", 0);
     const std::uint64_t seq = next_seq();
     if (rank_ == root) {
       require<CommError>(parts.size() == static_cast<std::size_t>(size()),
@@ -543,6 +556,7 @@ class Communicator {
                        "alltoall: buffer sizes must be equal multiples of "
                        "the rank count");
     const std::size_t count = sendbuf.size() / static_cast<std::size_t>(p);
+    obs::Span span = coll_span("alltoall", sendbuf.size_bytes());
     const std::uint64_t seq = next_seq();
     for (int r = 0; r < p; ++r) {
       std::span<const T> slot(sendbuf.data() + count * static_cast<std::size_t>(r),
@@ -573,6 +587,9 @@ class Communicator {
     const int p = size();
     require<CommError>(sendparts.size() == static_cast<std::size_t>(p),
                        "alltoallv: need one part per destination rank");
+    std::size_t send_bytes = 0;
+    for (const auto& part : sendparts) send_bytes += part.size() * sizeof(T);
+    obs::Span span = coll_span("alltoallv", send_bytes);
     const std::uint64_t seq = next_seq();
     for (int r = 0; r < p; ++r) {
       if (r == rank_) continue;
@@ -733,6 +750,18 @@ class Communicator {
   std::uint64_t next_seq() {
     ++stats().collectives;
     return seq_++;
+  }
+
+  /// One trace span per collective entry, tagged with this rank's local
+  /// send volume. Returned by value: Span is move-constructed into the
+  /// caller's scope via guaranteed copy elision.
+  obs::Span coll_span(const char* name, std::size_t bytes) {
+    obs::Span span(name, "comm");
+    if (span.active()) {
+      span.arg("bytes", static_cast<std::int64_t>(bytes));
+      span.arg("ranks", static_cast<std::int64_t>(size()));
+    }
+    return span;
   }
 
   static int phase_of(int mask) {

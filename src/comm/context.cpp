@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "comm/fault.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 
@@ -46,6 +47,13 @@ void Context::deliver(int dest, Envelope env) {
   // A dead rank sends nothing, and messages to the dead are never read —
   // drop both so the simulated crash does not leak buffered traffic.
   if (is_killed(env.source) || is_killed(dest)) return;
+
+  obs::Span span("deliver", "comm");
+  if (span.active()) {
+    span.arg("dest", static_cast<std::int64_t>(dest));
+    span.arg("tag", static_cast<std::int64_t>(env.tag));
+    span.arg("bytes", static_cast<std::int64_t>(env.payload.size()));
+  }
 
   env.checksum = envelope_checksum(env);
 

@@ -43,6 +43,7 @@ void Mailbox::push(Envelope env) {
     queued_bytes_ += env.payload.size();
     highwater_bytes_ = std::max(highwater_bytes_, queued_bytes_);
     queue_.push_back(std::move(env));
+    highwater_messages_ = std::max(highwater_messages_, queue_.size());
   }
   cv_.notify_all();
 }
@@ -159,6 +160,11 @@ std::size_t Mailbox::queued_bytes() const {
 std::size_t Mailbox::highwater_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return highwater_bytes_;
+}
+
+std::size_t Mailbox::highwater_messages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return highwater_messages_;
 }
 
 Mailbox::WaitInfo Mailbox::wait_info() const {

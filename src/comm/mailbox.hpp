@@ -80,6 +80,10 @@ class Mailbox {
   /// Largest queued_bytes() ever observed (folded into CommStats).
   std::size_t highwater_bytes() const;
 
+  /// Largest queue depth (message count) ever observed — exported as the
+  /// `comm.mailbox_highwater_messages` gauge in the metrics registry.
+  std::size_t highwater_messages() const;
+
   /// What (if anything) the owner is currently blocked on.
   WaitInfo wait_info() const;
 
@@ -105,6 +109,7 @@ class Mailbox {
   std::deque<Envelope> queue_;
   std::size_t queued_bytes_ = 0;
   std::size_t highwater_bytes_ = 0;
+  std::size_t highwater_messages_ = 0;
   WaitInfo wait_;  // guarded by mu_
 };
 

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "comm/context.hpp"
+#include "obs/bridge.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 
@@ -136,6 +138,9 @@ CommStats run_impl(int nranks, const CommConfig& config,
   int first_error_rank = -1;
 
   auto body = [&](int rank) {
+    // Tag this thread's trace events with its rank index (the trace `tid`).
+    // Rank 0 runs on the calling thread, whose tag is restored below.
+    obs::set_thread_rank(rank);
     try {
       Communicator comm(ctx, rank);
       fn(comm);
@@ -176,12 +181,29 @@ CommStats run_impl(int nranks, const CommConfig& config,
     watchdog.join();
   }
 
+  obs::set_thread_rank(0);  // calling thread doubled as rank 0 above
+
   // Fold mailbox occupancy high-water marks into the per-rank stats now
   // that no rank is running.
   for (int r = 0; r < nranks; ++r) {
     auto& s = ctx->stats(r);
     s.mailbox_highwater_bytes = std::max<std::uint64_t>(
         s.mailbox_highwater_bytes, ctx->mailbox(r).highwater_bytes());
+  }
+
+  // Publish this run into the unified metrics registry: aggregated comm
+  // counters, injected-fault totals, and the worst queue depth any rank saw.
+  {
+    auto& reg = obs::MetricsRegistry::global();
+    CommStats agg;
+    std::uint64_t depth = 0;
+    for (int r = 0; r < nranks; ++r) {
+      agg += ctx->stats(r);
+      depth = std::max<std::uint64_t>(depth, ctx->mailbox(r).highwater_messages());
+    }
+    obs::import_comm_stats(reg, agg);
+    reg.set_max("comm.mailbox_highwater_messages", static_cast<double>(depth));
+    if (config.injector) obs::import_fault_counts(reg, config.injector->counts());
   }
 
   if (first_error) std::rethrow_exception(first_error);

@@ -1,0 +1,118 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pyhpc::obs {
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kMaxGauge: return "max_gauge";
+  }
+  return "unknown";
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // leaked: atexit-safe
+  return *reg;
+}
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = metrics_.try_emplace(name, Cell{MetricKind::kCounter, 0.0});
+  it->second.value += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_[name] = Cell{MetricKind::kGauge, value};
+}
+
+void MetricsRegistry::set_max(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = metrics_.try_emplace(name, Cell{MetricKind::kMaxGauge, value});
+  if (!inserted) it->second.value = std::max(it->second.value, value);
+}
+
+double MetricsRegistry::value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? 0.0 : it->second.value;
+}
+
+bool MetricsRegistry::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.count(name) != 0;
+}
+
+std::vector<Metric> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Metric> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, cell] : metrics_) {
+    out.push_back(Metric{name, cell.kind, cell.value});
+  }
+  return out;  // std::map iteration order is already name-sorted
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.clear();
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  // Integral values (the common case: counters) print without a fraction.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 9.0e15) {
+    out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  out += os.str();
+}
+
+}  // namespace
+
+std::string metrics_to_json(const std::vector<Metric>& metrics) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& m : metrics) {
+    if (!first) out += ",\n ";
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, m.name);
+    out += "\",\"kind\":\"";
+    out += metric_kind_name(m.kind);
+    out += "\",\"value\":";
+    append_number(out, m.value);
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace pyhpc::obs

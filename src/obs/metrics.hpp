@@ -1,0 +1,78 @@
+// Unified metrics registry: named counters, gauges, and max-gauges with a
+// JSON-serializable snapshot.
+//
+// Before this layer the repo had three disjoint instrumentation stores —
+// comm::CommStats (per-rank message counters), FaultInjector::counts
+// (injected-fault totals), and teuchos::TimeMonitor (named wall-clock
+// timers) — each with its own reporting format. The registry is the single
+// sink they all fold into (see obs/bridge.hpp for the importers), so bench
+// reports and tests read one named snapshot instead of three APIs.
+//
+// Aggregation semantics by kind:
+//   counter   — monotonically accumulates via add();
+//   gauge     — last write wins (set());
+//   max-gauge — keeps the largest observed value (set_max()), the right
+//               fold for high-water marks like mailbox occupancy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pyhpc::obs {
+
+enum class MetricKind { kCounter, kGauge, kMaxGauge };
+
+const char* metric_kind_name(MetricKind kind);
+
+struct Metric {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;
+};
+
+/// Thread-safe named metric store. The process-wide instance (`global()`)
+/// is what the instrumentation hooks write to; independent instances can
+/// be created for tests.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& global();
+
+  /// Counter: accumulates `delta` (creates the metric at 0 first).
+  void add(const std::string& name, double delta);
+
+  /// Gauge: overwrites with `value`.
+  void set(const std::string& name, double value);
+
+  /// Max-gauge: keeps max(current, value).
+  void set_max(const std::string& name, double value);
+
+  /// Current value, or 0 when the metric does not exist.
+  double value(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+  /// Name-sorted copy of every metric.
+  std::vector<Metric> snapshot() const;
+
+  void reset();
+
+ private:
+  struct Cell {
+    MetricKind kind;
+    double value;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Cell> metrics_;
+};
+
+/// Serializes metrics as a JSON array:
+///   [{"name":"comm.collectives","kind":"counter","value":42}, ...]
+std::string metrics_to_json(const std::vector<Metric>& metrics);
+
+}  // namespace pyhpc::obs

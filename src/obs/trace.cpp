@@ -1,0 +1,288 @@
+#include "obs/trace.hpp"
+
+#ifndef PYHPC_OBS_NO_TRACE
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace pyhpc::obs {
+
+namespace detail {
+
+std::atomic<bool> g_trace_on{false};
+
+namespace {
+
+struct TraceEvent {
+  char phase;  // 'X' complete, 'i' instant, 'C' counter
+  const char* name;
+  const char* category;
+  std::int64_t ts_us;
+  std::int64_t dur_us;  // 'X' only
+  int tid;              // rank index at record time
+  TraceArg args[kMaxTraceArgs];
+  int nargs;
+};
+
+}  // namespace
+
+/// One per thread, owned jointly by the thread (thread_local) and the
+/// global registry (so buffers of exited rank threads survive for export).
+/// The owning thread appends without locking; export happens from a
+/// quiescent point (after thread join, which establishes ordering).
+class TraceBuffer {
+ public:
+  std::vector<TraceEvent> events;
+};
+
+namespace {
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable from atexit hooks
+  return *r;
+}
+
+thread_local int tl_rank = 0;
+
+// JSON string escaping for names/categories/keys/values.
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  std::ostringstream os;
+  os << v;  // shortest-ish representation; NaN/inf are not valid JSON
+  const std::string s = os.str();
+  if (s == "nan" || s == "-nan" || s == "inf" || s == "-inf") {
+    out += "null";
+  } else {
+    out += s;
+  }
+}
+
+void append_args(std::string& out, const TraceArg* args, int nargs) {
+  out += "\"args\":{";
+  for (int i = 0; i < nargs; ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    append_escaped(out, args[i].key);
+    out += "\":";
+    switch (args[i].kind) {
+      case TraceArg::Kind::kInt:
+        out += std::to_string(args[i].i);
+        break;
+      case TraceArg::Kind::kFloat:
+        append_double(out, args[i].f);
+        break;
+      case TraceArg::Kind::kString:
+        out += '"';
+        append_escaped(out, args[i].s != nullptr ? args[i].s : "");
+        out += '"';
+        break;
+    }
+  }
+  out += '}';
+}
+
+void append_event(std::string& out, const TraceEvent& e) {
+  out += "{\"name\":\"";
+  append_escaped(out, e.name);
+  out += "\",\"cat\":\"";
+  append_escaped(out, e.category);
+  out += "\",\"ph\":\"";
+  out += e.phase;
+  out += "\",\"pid\":0,\"tid\":";
+  out += std::to_string(e.tid);
+  out += ",\"ts\":";
+  out += std::to_string(e.ts_us);
+  if (e.phase == 'X') {
+    out += ",\"dur\":";
+    out += std::to_string(e.dur_us);
+  }
+  if (e.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+  if (e.nargs > 0) {
+    out += ',';
+    append_args(out, e.args, e.nargs);
+  }
+  out += '}';
+}
+
+// Environment hook: PYHPC_TRACE=out.json enables recording at load time
+// and writes the trace when the process exits.
+struct EnvInit {
+  EnvInit() {
+    const char* path = std::getenv("PYHPC_TRACE");
+    if (path == nullptr || *path == '\0') return;
+    static std::string out_path;
+    out_path = path;
+    (void)trace_epoch();  // pin the epoch before any event
+    g_trace_on.store(true, std::memory_order_relaxed);
+    std::atexit(+[] { (void)write_trace(out_path); });
+  }
+} g_env_init;
+
+}  // namespace
+
+TraceBuffer* thread_buffer() {
+  thread_local std::shared_ptr<TraceBuffer> tl_buffer = [] {
+    auto buf = std::make_shared<TraceBuffer>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.buffers.push_back(buf);
+    return buf;
+  }();
+  return tl_buffer.get();
+}
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+void record_event(TraceBuffer* buf, char phase, const char* name,
+                  const char* category, std::int64_t start_us,
+                  std::int64_t dur_us, const TraceArg* args, int nargs) {
+  TraceEvent e;
+  e.phase = phase;
+  e.name = name;
+  e.category = category;
+  e.ts_us = start_us;
+  e.dur_us = dur_us;
+  e.tid = tl_rank;
+  e.nargs = nargs > kMaxTraceArgs ? kMaxTraceArgs : nargs;
+  for (int i = 0; i < e.nargs; ++i) e.args[i] = args[i];
+  buf->events.push_back(e);
+}
+
+}  // namespace detail
+
+void set_trace_enabled(bool on) {
+  if (on) (void)detail::trace_epoch();  // pin before the first event
+  detail::g_trace_on.store(on, std::memory_order_relaxed);
+}
+
+void set_thread_rank(int rank) { detail::tl_rank = rank; }
+int thread_rank() { return detail::tl_rank; }
+
+void instant(const char* name, const char* category) {
+  if (!trace_enabled()) return;
+  detail::record_event(detail::thread_buffer(), 'i', name, category,
+                       detail::now_us(), 0, nullptr, 0);
+}
+
+void counter(const char* name, const char* category, double value) {
+  if (!trace_enabled()) return;
+  detail::TraceArg a;
+  a.key = "value";
+  a.kind = detail::TraceArg::Kind::kFloat;
+  a.f = value;
+  detail::record_event(detail::thread_buffer(), 'C', name, category,
+                       detail::now_us(), 0, &a, 1);
+}
+
+void Span::arg(const char* key, std::int64_t value) {
+  if (buf_ == nullptr || nargs_ >= detail::kMaxTraceArgs) return;
+  args_[nargs_].key = key;
+  args_[nargs_].kind = detail::TraceArg::Kind::kInt;
+  args_[nargs_].i = value;
+  ++nargs_;
+}
+
+void Span::arg(const char* key, double value) {
+  if (buf_ == nullptr || nargs_ >= detail::kMaxTraceArgs) return;
+  args_[nargs_].key = key;
+  args_[nargs_].kind = detail::TraceArg::Kind::kFloat;
+  args_[nargs_].f = value;
+  ++nargs_;
+}
+
+void Span::arg(const char* key, const char* value) {
+  if (buf_ == nullptr || nargs_ >= detail::kMaxTraceArgs) return;
+  args_[nargs_].key = key;
+  args_[nargs_].kind = detail::TraceArg::Kind::kString;
+  args_[nargs_].s = value;
+  ++nargs_;
+}
+
+void Span::finish() {
+  if (buf_ == nullptr) return;
+  const std::int64_t end = detail::now_us();
+  detail::record_event(buf_, 'X', name_, category_, start_us_,
+                       end - start_us_, args_, nargs_);
+  buf_ = nullptr;
+}
+
+std::string trace_json() {
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& buf : r.buffers) {
+    for (const auto& e : buf->events) {
+      if (!first) out += ",\n";
+      first = false;
+      detail::append_event(out, e);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_trace(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << trace_json();
+  return static_cast<bool>(os);
+}
+
+void clear_trace() {
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& buf : r.buffers) buf->events.clear();
+}
+
+std::size_t trace_event_count() {
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::size_t n = 0;
+  for (const auto& buf : r.buffers) n += buf->events.size();
+  return n;
+}
+
+}  // namespace pyhpc::obs
+
+#endif  // PYHPC_OBS_NO_TRACE

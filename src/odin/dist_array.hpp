@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "odin/distribution.hpp"
 #include "odin/shape.hpp"
 #include "util/random.hpp"
@@ -168,7 +169,13 @@ class DistArray {
     return reduce(T{0}, std::plus<T>{});
   }
 
+  // min/max/mean are undefined on a globally empty array; like
+  // argmin/argmax they throw rather than returning numeric_limits
+  // sentinels (or NaN). A rank whose *local* part is empty still
+  // participates normally — its sentinel never wins the reduction because
+  // some other rank holds real data.
   T min() const {
+    require<NumericalError>(size() != 0, "min: empty array");
     T acc = data_.empty() ? std::numeric_limits<T>::max() : data_.front();
     for (const auto& x : data_) acc = std::min(acc, x);
     return dist_->comm().allreduce_value(
@@ -176,6 +183,7 @@ class DistArray {
   }
 
   T max() const {
+    require<NumericalError>(size() != 0, "max: empty array");
     T acc = data_.empty() ? std::numeric_limits<T>::lowest() : data_.front();
     for (const auto& x : data_) acc = std::max(acc, x);
     return dist_->comm().allreduce_value(
@@ -183,6 +191,7 @@ class DistArray {
   }
 
   double mean() const {
+    require<NumericalError>(size() != 0, "mean: empty array");
     return static_cast<double>(sum()) / static_cast<double>(size());
   }
 
@@ -247,6 +256,16 @@ class DistArray {
   }
 
  private:
+  /// Elementwise f over operands already known to be conformable.
+  template <class F>
+  DistArray zip_local(const DistArray& other, F&& f) const {
+    DistArray out(*dist_);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      out.data_[i] = f(data_[i], other.data_[i]);
+    }
+    return out;
+  }
+
   template <class F>
   void fill_from_global(F&& f) {
     for (index_t l = 0; l < local_size(); ++l) {
@@ -307,6 +326,13 @@ DistArray<T> redistribute(const DistArray<T>& a, const Distribution& target) {
   auto& comm = a.dist().comm();
   const int p = comm.size();
 
+  obs::Span span("redistribute", "odin");
+  if (span.active()) {
+    span.arg("elements", static_cast<std::int64_t>(a.size()));
+    span.arg("bytes", static_cast<std::int64_t>(
+                          static_cast<std::size_t>(a.local_size()) * sizeof(T)));
+  }
+
   struct Entry {
     index_t local_at_target;
     T value;
@@ -351,29 +377,42 @@ DistArray<T> DistArray<T>::zip(const DistArray& other, F&& f,
   require<ShapeError>(shape() == other.shape(),
                       util::cat("zip: shapes differ: ", shape().to_string(),
                                 " vs ", other.shape().to_string()));
-  if (dist_->conformable(other.dist())) {
-    DistArray out(*dist_);
-    for (std::size_t i = 0; i < data_.size(); ++i) {
-      out.data_[i] = f(data_[i], other.data_[i]);
-    }
-    return out;
-  }
+  if (dist_->conformable(other.dist())) return zip_local(other, f);
   // Non-conformable: align layouts first.
   switch (strategy) {
-    case ConformStrategy::kRight: {
-      DistArray rhs = redistribute(other, *dist_);
-      return zip(rhs, f, ConformStrategy::kRight);
-    }
-    case ConformStrategy::kLeft: {
-      DistArray lhs = redistribute(*this, other.dist());
-      return lhs.zip(other, f, ConformStrategy::kLeft);
-    }
+    case ConformStrategy::kRight:
+      return zip_local(redistribute(other, *dist_), f);
+    case ConformStrategy::kLeft:
+      return redistribute(*this, other.dist()).zip_local(other, f);
     case ConformStrategy::kAuto: {
-      const index_t cost_right = redistribution_cost(other, *dist_);
-      const index_t cost_left = redistribution_cost(*this, other.dist());
-      return zip(other, f,
-                 cost_right <= cost_left ? ConformStrategy::kRight
-                                         : ConformStrategy::kLeft);
+      // One fused local pass measures both directions, and a single
+      // two-element allreduce replaces the two collective
+      // redistribution_cost passes the old path ran; the chosen operand is
+      // then redistributed directly instead of recursively re-entering zip
+      // (which re-checked shape and conformability for nothing). Net: 3
+      // collective entries per rank instead of 5.
+      obs::Span span("zip.auto_conform", "odin");
+      index_t local[2] = {0, 0};  // elements leaving their rank: [this, other]
+      for (index_t l = 0; l < local_size(); ++l) {
+        const auto gidx = dist_->global_of_local(l);
+        if (other.dist().owner_of(gidx).first != dist_->rank()) ++local[0];
+      }
+      for (index_t l = 0; l < other.local_size(); ++l) {
+        const auto gidx = other.dist_->global_of_local(l);
+        if (dist_->owner_of(gidx).first != other.dist().rank()) ++local[1];
+      }
+      index_t costs[2] = {0, 0};
+      dist_->comm().allreduce(std::span<const index_t>(local, 2),
+                              std::span<index_t>(costs, 2),
+                              std::plus<index_t>{});
+      const bool move_right = costs[1] <= costs[0];  // same tie-break as before
+      if (span.active()) {
+        span.arg("cost_left", static_cast<std::int64_t>(costs[0]));
+        span.arg("cost_right", static_cast<std::int64_t>(costs[1]));
+        span.arg("chosen", move_right ? "right" : "left");
+      }
+      if (move_right) return zip_local(redistribute(other, *dist_), f);
+      return redistribute(*this, other.dist()).zip_local(other, f);
     }
   }
   throw InvalidArgument("zip: unknown conform strategy");

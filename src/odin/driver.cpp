@@ -1,5 +1,7 @@
 #include "odin/driver.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "odin/ufunc.hpp"
 #include "util/random.hpp"
 #include "util/string_util.hpp"
@@ -91,11 +93,18 @@ void DriverContext::send_payload(int worker,
 
 void DriverContext::await_ack_or_retry(
     int worker, const std::vector<ControlMessage>& batch, std::uint64_t seq) {
+  obs::Span span("driver.await_ack", "odin");
+  if (span.active()) {
+    span.arg("worker", static_cast<std::int64_t>(worker));
+    span.arg("seq", static_cast<std::int64_t>(seq));
+  }
   for (int attempt = 0; attempt <= opts_.max_retries; ++attempt) {
     if (attempt > 0) {
       auto& s = comm_->stats();
       ++s.retries;
       ++s.drops_detected;  // a missing ack means payload or ack was lost
+      obs::instant("driver.retransmit", "odin");
+      obs::MetricsRegistry::global().add("driver.retransmits", 1.0);
       send_payload(worker, batch, seq);
     }
     try {
@@ -122,6 +131,13 @@ void DriverContext::await_ack_or_retry(
 
 void DriverContext::ship(const std::vector<ControlMessage>& batch) {
   if (batch.empty()) return;
+  obs::Span span("driver.ship", "odin");
+  if (span.active()) {
+    span.arg("messages", static_cast<std::int64_t>(batch.size()));
+    span.arg("workers", static_cast<std::int64_t>(comm_->size() - 1));
+    span.arg("reliable", static_cast<std::int64_t>(opts_.reliable ? 1 : 0));
+  }
+  obs::MetricsRegistry::global().add("driver.payloads_shipped", 1.0);
   const std::uint64_t seq = ++seq_;
   for (int w = 1; w < comm_->size(); ++w) send_payload(w, batch, seq);
   if (opts_.reliable) {
@@ -281,6 +297,8 @@ void DriverContext::worker_loop() {
     if (opts_.reliable && seq <= last_seq_) {
       // Retransmission or injected duplicate of a payload already
       // executed: just re-ack so the driver stops retrying.
+      obs::instant("driver.duplicate_payload", "odin");
+      obs::MetricsRegistry::global().add("driver.duplicate_payloads", 1.0);
       comm_->send_value<std::uint64_t>(seq, 0, kAckTag);
       continue;
     }
@@ -290,6 +308,7 @@ void DriverContext::worker_loop() {
       if (!running) break;
     }
     if (opts_.reliable) {
+      obs::MetricsRegistry::global().add("driver.acks_sent", 1.0);
       comm_->send_value<std::uint64_t>(seq, 0, kAckTag);
     }
   }

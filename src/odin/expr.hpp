@@ -66,7 +66,10 @@ struct BinaryExpr {
   A a;
   B b;
 
-  using value_type = typename A::value_type;
+  // common_type, not A's type alone: `constant(2) * lazy(x)` with double x
+  // must evaluate as double, regardless of which operand holds the scalar.
+  using value_type =
+      std::common_type_t<typename A::value_type, typename B::value_type>;
   value_type at(index_t i) const { return fn(a.at(i), b.at(i)); }
   const Distribution* dist() const {
     const Distribution* d = a.dist();
@@ -120,28 +123,32 @@ namespace detail {
 template <class A, class B,
           class = std::enable_if_t<is_expr_v<A> && is_expr_v<B>>>
 auto operator+(A a, B b) {
-  using T = typename A::value_type;
+  using T = std::common_type_t<typename A::value_type, typename B::value_type>;
   return pyhpc::odin::apply_binary(std::plus<T>{}, a, b);
 }
 template <class A, class B,
           class = std::enable_if_t<is_expr_v<A> && is_expr_v<B>>>
 auto operator-(A a, B b) {
-  using T = typename A::value_type;
+  using T = std::common_type_t<typename A::value_type, typename B::value_type>;
   return pyhpc::odin::apply_binary(std::minus<T>{}, a, b);
 }
 template <class A, class B,
           class = std::enable_if_t<is_expr_v<A> && is_expr_v<B>>>
 auto operator*(A a, B b) {
-  using T = typename A::value_type;
+  using T = std::common_type_t<typename A::value_type, typename B::value_type>;
   return pyhpc::odin::apply_binary(std::multiplies<T>{}, a, b);
 }
 template <class A, class B,
           class = std::enable_if_t<is_expr_v<A> && is_expr_v<B>>>
 auto operator/(A a, B b) {
-  using T = typename A::value_type;
+  using T = std::common_type_t<typename A::value_type, typename B::value_type>;
   return pyhpc::odin::apply_binary(std::divides<T>{}, a, b);
 }
 
+// Scalar/expr mixed operators — the full set, in both orders. The scalar
+// parameter is `typename A::value_type` (a non-deduced context), so plain
+// literals convert: `2.0 + lazy(x)` and `lazy(x) / 2` both work. The
+// non-commutative ops keep the operand order in the functor.
 template <class A, class = std::enable_if_t<is_expr_v<A>>>
 auto operator*(A a, typename A::value_type s) {
   return pyhpc::odin::apply_binary(std::multiplies<typename A::value_type>{}, a,
@@ -154,6 +161,30 @@ auto operator*(typename A::value_type s, A a) {
 template <class A, class = std::enable_if_t<is_expr_v<A>>>
 auto operator+(A a, typename A::value_type s) {
   return pyhpc::odin::apply_binary(std::plus<typename A::value_type>{}, a, pyhpc::odin::constant(s));
+}
+template <class A, class = std::enable_if_t<is_expr_v<A>>>
+auto operator+(typename A::value_type s, A a) {
+  return a + s;
+}
+template <class A, class = std::enable_if_t<is_expr_v<A>>>
+auto operator-(A a, typename A::value_type s) {
+  return pyhpc::odin::apply_binary(std::minus<typename A::value_type>{}, a,
+                      pyhpc::odin::constant(s));
+}
+template <class A, class = std::enable_if_t<is_expr_v<A>>>
+auto operator-(typename A::value_type s, A a) {
+  return pyhpc::odin::apply_binary(std::minus<typename A::value_type>{},
+                      pyhpc::odin::constant(s), a);
+}
+template <class A, class = std::enable_if_t<is_expr_v<A>>>
+auto operator/(A a, typename A::value_type s) {
+  return pyhpc::odin::apply_binary(std::divides<typename A::value_type>{}, a,
+                      pyhpc::odin::constant(s));
+}
+template <class A, class = std::enable_if_t<is_expr_v<A>>>
+auto operator/(typename A::value_type s, A a) {
+  return pyhpc::odin::apply_binary(std::divides<typename A::value_type>{},
+                      pyhpc::odin::constant(s), a);
 }
 
 }  // namespace detail

@@ -73,7 +73,10 @@ class LocalRegistry {
 
   void register_function(const std::string& name, LocalFunction fn);
   bool has(const std::string& name) const;
-  const LocalFunction& get(const std::string& name) const;
+  // By value: a reference into the map could be invoked by one rank while
+  // another rank re-registers the same name (the map slot is overwritten
+  // under the lock, the call runs outside it).
+  LocalFunction get(const std::string& name) const;
   std::vector<std::string> names() const;
   void clear();
 
@@ -89,7 +92,7 @@ class LocalRegistry {
 template <class... Arrays>
 DistArray<double> call_local(const std::string& name, const DistArray<double>& first,
                              const Arrays&... rest) {
-  const LocalFunction& fn = LocalRegistry::instance().get(name);
+  const LocalFunction fn = LocalRegistry::instance().get(name);
   ((void)require<ShapeError>(first.dist().conformable(rest.dist()),
                              "call_local: arguments must be conformable"),
    ...);

@@ -1,6 +1,7 @@
 #include <cctype>
 #include <map>
 
+#include "obs/trace.hpp"
 #include "seamless/token.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
@@ -39,6 +40,10 @@ std::string Token::describe() const {
 }
 
 std::vector<Token> tokenize(const std::string& source) {
+  obs::Span span("lex", "seamless");
+  if (span.active()) {
+    span.arg("source_bytes", static_cast<std::int64_t>(source.size()));
+  }
   std::vector<Token> out;
   std::vector<int> indents{0};
   int line_no = 0;

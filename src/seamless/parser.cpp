@@ -1,6 +1,7 @@
 // Recursive-descent parser for MiniPy with precedence-climbing expressions.
 #include <map>
 
+#include "obs/trace.hpp"
 #include "seamless/ast.hpp"
 #include "seamless/token.hpp"
 #include "util/error.hpp"
@@ -479,6 +480,10 @@ const FunctionDef& Module::function(const std::string& name) const {
 }
 
 Module parse(const std::string& source) {
+  obs::Span span("parse", "seamless");  // nests the lex span inside it
+  if (span.active()) {
+    span.arg("source_bytes", static_cast<std::int64_t>(source.size()));
+  }
   Parser parser(tokenize(source));
   return parser.parse_module();
 }

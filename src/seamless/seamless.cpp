@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "util/string_util.hpp"
 
 namespace pyhpc::seamless {
@@ -31,6 +32,8 @@ Value Engine::run_jit(const std::string& name, std::vector<Value> args) {
   types.reserve(args.size());
   for (const auto& a : args) types.push_back(jit_type_of(a));
   const JitFunction& fn = jit(name, types);
+  obs::Span span("jit.exec", "seamless");
+  if (span.active()) span.arg("nargs", static_cast<std::int64_t>(args.size()));
   return fn.call(args);
 }
 
@@ -40,6 +43,10 @@ const JitFunction& Engine::jit(const std::string& name,
   for (auto t : param_types) key += "/" + jit_type_name(t);
   auto it = jit_cache_.find(key);
   if (it == jit_cache_.end()) {
+    obs::Span span("jit.compile", "seamless");
+    if (span.active()) {
+      span.arg("nparams", static_cast<std::int64_t>(param_types.size()));
+    }
     it = jit_cache_
              .emplace(key, std::make_unique<JitFunction>(
                                jit_compile(module_, name, param_types)))

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/string_util.hpp"
 
 namespace pyhpc::solvers {
@@ -18,9 +19,30 @@ void precondition(const precond::Preconditioner* m, const Vector& r,
   }
 }
 
-void record(SolveResult& result, const KrylovOptions& options, double rel) {
+void record(SolveResult& result, const KrylovOptions& options, double rel,
+            const char* residual_counter) {
   if (options.record_history) result.residual_history.push_back(rel);
+  // One counter track per solver kind; Perfetto plots it as the
+  // convergence curve.
+  obs::counter(residual_counter, "solvers", rel);
 }
+
+// Wraps one solve call in a trace span; the destructor stamps the final
+// iteration count / convergence outcome so every return path is covered.
+struct SolveSpan {
+  obs::Span span;
+  const SolveResult& result;
+  SolveSpan(const char* name, const SolveResult& r)
+      : span(name, "solvers"), result(r) {}
+  ~SolveSpan() {
+    if (span.active()) {
+      span.arg("iterations", static_cast<std::int64_t>(result.iterations));
+      span.arg("converged",
+               static_cast<std::int64_t>(result.converged ? 1 : 0));
+      span.arg("tolerance", result.achieved_tolerance);
+    }
+  }
+};
 
 }  // namespace
 
@@ -42,6 +64,7 @@ SolveResult cg_solve(const Operator& a, const Vector& b, Vector& x,
                      const KrylovOptions& options,
                      const precond::Preconditioner* m) {
   SolveResult result;
+  SolveSpan solve_span("cg", result);
   const double bnorm = b.norm2();
   if (bnorm == 0.0) {
     x.put_scalar(0.0);
@@ -60,7 +83,7 @@ SolveResult cg_solve(const Operator& a, const Vector& b, Vector& x,
 
   double rz = r.dot(z);
   double rel = r.norm2() / bnorm;
-  record(result, options, rel);
+  record(result, options, rel, "cg.residual");
 
   for (int it = 0; it < options.max_iterations && rel > options.tolerance;
        ++it) {
@@ -78,7 +101,7 @@ SolveResult cg_solve(const Operator& a, const Vector& b, Vector& x,
     p.update(1.0, z, beta);
     rel = r.norm2() / bnorm;
     result.iterations = it + 1;
-    record(result, options, rel);
+    record(result, options, rel, "cg.residual");
   }
   result.converged = rel <= options.tolerance;
   result.achieved_tolerance = rel;
@@ -89,6 +112,7 @@ SolveResult bicgstab_solve(const Operator& a, const Vector& b, Vector& x,
                            const KrylovOptions& options,
                            const precond::Preconditioner* m) {
   SolveResult result;
+  SolveSpan solve_span("bicgstab", result);
   const double bnorm = b.norm2();
   if (bnorm == 0.0) {
     x.put_scalar(0.0);
@@ -106,7 +130,7 @@ SolveResult bicgstab_solve(const Operator& a, const Vector& b, Vector& x,
 
   double rho = 1.0, alpha = 1.0, omega = 1.0;
   double rel = r.norm2() / bnorm;
-  record(result, options, rel);
+  record(result, options, rel, "bicgstab.residual");
 
   for (int it = 0; it < options.max_iterations && rel > options.tolerance;
        ++it) {
@@ -134,7 +158,7 @@ SolveResult bicgstab_solve(const Operator& a, const Vector& b, Vector& x,
       r.update(1.0, s, 0.0);
       rel = r.norm2() / bnorm;
       result.iterations = it + 1;
-      record(result, options, rel);
+      record(result, options, rel, "bicgstab.residual");
       break;
     }
     precondition(m, s, shat);
@@ -148,7 +172,7 @@ SolveResult bicgstab_solve(const Operator& a, const Vector& b, Vector& x,
     r.update(-omega, t, 1.0);
     rel = r.norm2() / bnorm;
     result.iterations = it + 1;
-    record(result, options, rel);
+    record(result, options, rel, "bicgstab.residual");
     require<NumericalError>(omega != 0.0, "BiCGStab: omega breakdown");
   }
   result.converged = rel <= options.tolerance;
@@ -160,6 +184,7 @@ SolveResult cgs_solve(const Operator& a, const Vector& b, Vector& x,
                       const KrylovOptions& options,
                       const precond::Preconditioner* m) {
   SolveResult result;
+  SolveSpan solve_span("cgs", result);
   const double bnorm = b.norm2();
   if (bnorm == 0.0) {
     x.put_scalar(0.0);
@@ -177,7 +202,7 @@ SolveResult cgs_solve(const Operator& a, const Vector& b, Vector& x,
 
   double rho = 1.0;
   double rel = r.norm2() / bnorm;
-  record(result, options, rel);
+  record(result, options, rel, "cgs.residual");
 
   for (int it = 0; it < options.max_iterations && rel > options.tolerance;
        ++it) {
@@ -212,7 +237,7 @@ SolveResult cgs_solve(const Operator& a, const Vector& b, Vector& x,
     r.update(-alpha, tmp, 1.0);
     rel = r.norm2() / bnorm;
     result.iterations = it + 1;
-    record(result, options, rel);
+    record(result, options, rel, "cgs.residual");
   }
   result.converged = rel <= options.tolerance;
   result.achieved_tolerance = rel;
@@ -223,6 +248,7 @@ SolveResult gmres_solve(const Operator& a, const Vector& b, Vector& x,
                         const KrylovOptions& options,
                         const precond::Preconditioner* m) {
   SolveResult result;
+  SolveSpan solve_span("gmres", result);
   const double bnorm = b.norm2();
   if (bnorm == 0.0) {
     x.put_scalar(0.0);
@@ -240,7 +266,7 @@ SolveResult gmres_solve(const Operator& a, const Vector& b, Vector& x,
     r.update(1.0, b, -1.0);
     double beta = r.norm2();
     rel = beta / bnorm;
-    if (total_it == 0) record(result, options, rel);
+    if (total_it == 0) record(result, options, rel, "gmres.residual");
     if (rel <= options.tolerance || total_it >= options.max_iterations) break;
 
     // Arnoldi with modified Gram-Schmidt; right preconditioning
@@ -296,7 +322,7 @@ SolveResult gmres_solve(const Operator& a, const Vector& b, Vector& x,
       ++total_it;
       rel = std::abs(g[static_cast<std::size_t>(k) + 1]) / bnorm;
       result.iterations = total_it;
-      record(result, options, rel);
+      record(result, options, rel, "gmres.residual");
 
       if (hkk == 0.0 || rel <= options.tolerance) {
         ++k;  // include this column in the update

@@ -1,0 +1,185 @@
+// bench_report — consolidates per-benchmark JSON files (google-benchmark
+// --benchmark_format=json output) and a live metrics snapshot into one
+// machine-readable report (BENCH_PR2.json).
+//
+// Besides merging, it runs one small smoke workload per subsystem with
+// tracing enabled so the emitted Chrome trace contains spans from every
+// instrumented layer: comm collectives, an ODIN redistribute/zip, a Krylov
+// solve, and a Seamless JIT compile. Load the trace in Perfetto or
+// chrome://tracing.
+//
+// Usage:
+//   bench_report [-o report.json] [--trace trace.json] [name=bench.json ...]
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/runner.hpp"
+#include "galeri/gallery.hpp"
+#include "obs/bridge.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "odin/dist_array.hpp"
+#include "seamless/seamless.hpp"
+#include "solvers/krylov.hpp"
+#include "teuchos/timer.hpp"
+
+namespace pc = pyhpc::comm;
+namespace od = pyhpc::odin;
+namespace gl = pyhpc::galeri;
+namespace sv = pyhpc::solvers;
+namespace obs = pyhpc::obs;
+
+namespace {
+
+// One representative workload per instrumented subsystem. Small on purpose:
+// the goal is trace/metric coverage, not timing (the bench binaries do the
+// timing).
+void run_smoke_workloads() {
+  {
+    auto& t = pyhpc::teuchos::TimeMonitor::get("report.smoke");
+    pyhpc::teuchos::ScopedTimer scoped(t);
+
+    // comm collectives + ODIN redistribute via a non-conformable zip.
+    pc::run(4, [](pc::Communicator& comm) {
+      const od::index_t n = 4096;
+      auto block = od::Distribution::block(comm, od::Shape({n}), 0);
+      auto cyclic = od::Distribution::cyclic(comm, od::Shape({n}), 0);
+      auto x = od::DistArray<double>::random(od::Distribution(block), 1);
+      auto y = od::DistArray<double>::random(od::Distribution(cyclic), 2);
+      auto z = x.zip(y, std::plus<double>{}, od::ConformStrategy::kAuto);
+      (void)z.sum();
+      comm.barrier();
+    });
+
+    // Krylov solve (per-iteration residual counters + solver span).
+    pc::run(2, [](pc::Communicator& comm) {
+      auto map = gl::Map::uniform(comm, 128);
+      auto a = gl::laplace1d(map);
+      auto b = gl::rhs_for_ones(a);
+      gl::Vector x(map, 0.0);
+      (void)sv::cg_solve(a, b, x);
+    });
+
+    // Seamless JIT (lex/parse/compile/exec spans).
+    const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+    (void)pyhpc::seamless::numpy::sum(
+        std::span<const double>(values.data(), values.size()));
+  }
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+// A bench file is itself a JSON object, so its raw contents embed verbatim
+// as the entry's value — no parser needed for a faithful merge.
+bool looks_like_json_object(const std::string& s) {
+  for (char c : s) {
+    if (c == ' ' || c == '\n' || c == '\r' || c == '\t') continue;
+    return c == '{';
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_PR2.json";
+  std::string trace_path = "trace_pr2.json";
+  std::vector<std::pair<std::string, std::string>> benches;  // name -> path
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << "usage: bench_report [-o report.json] [--trace trace.json]"
+                   " [name=bench.json ...]\n";
+      return 0;
+    } else {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "bench_report: expected name=path, got '" << arg << "'\n";
+        return 2;
+      }
+      benches.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+
+  obs::set_trace_enabled(true);
+  run_smoke_workloads();
+  obs::set_trace_enabled(false);
+  if (!obs::write_trace(trace_path)) {
+    std::cerr << "bench_report: failed to write trace to " << trace_path
+              << "\n";
+  }
+
+  std::string json;
+  json += "{\n\"report\": \"pyhpc bench report\",\n";
+  json += "\"trace_file\": \"";
+  append_escaped(json, trace_path);
+  json += "\",\n\"benchmarks\": {";
+  bool first = true;
+  int skipped = 0;
+  for (const auto& [name, path] : benches) {
+    std::string contents;
+    if (!read_file(path, contents) || !looks_like_json_object(contents)) {
+      std::cerr << "bench_report: skipping " << name << " (" << path
+                << " unreadable or not a JSON object)\n";
+      ++skipped;
+      continue;
+    }
+    if (!first) json += ",";
+    first = false;
+    json += "\n\"";
+    append_escaped(json, name);
+    json += "\": ";
+    json += contents;
+  }
+  json += "\n},\n\"metrics\": ";
+  json += obs::metrics_to_json(obs::unified_snapshot());
+  json += "\n}\n";
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "bench_report: cannot open " << out_path << "\n";
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::cout << "wrote " << out_path << " (" << benches.size() - skipped << "/"
+            << benches.size() << " bench files merged, trace in " << trace_path
+            << ")\n";
+  return skipped == 0 ? 0 : 1;
+}

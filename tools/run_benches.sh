@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds the benchmark suite in Release, runs every bench_* binary with
+# --benchmark_format=json, and merges the results plus a live metrics
+# snapshot into BENCH_PR2.json at the repo root (trace in trace_pr2.json).
+#
+# Extra google-benchmark flags can be passed through BENCH_FLAGS, e.g.
+#   BENCH_FLAGS=--benchmark_min_time=0.05s tools/run_benches.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build-bench}"
+OUT="${OUT_FILE:-$ROOT/BENCH_PR2.json}"
+TRACE="${TRACE_FILE:-$ROOT/trace_pr2.json}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$(nproc)"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+merge_args=()
+for bin in "$BUILD"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "== $name"
+  "$bin" --benchmark_format=json ${BENCH_FLAGS:-} > "$TMP/$name.json"
+  merge_args+=("$name=$TMP/$name.json")
+done
+
+"$BUILD/tools/bench_report" -o "$OUT" --trace "$TRACE" "${merge_args[@]}"
+echo "report: $OUT"
