@@ -5,6 +5,28 @@
 
 namespace pyhpc::comm {
 
+const char* collective_algo_name(CollectiveAlgo algo) {
+  switch (algo) {
+    case CollectiveAlgo::kAuto:
+      return "auto";
+    case CollectiveAlgo::kLinear:
+      return "linear";
+    case CollectiveAlgo::kRecursiveDoubling:
+      return "recursive_doubling";
+    case CollectiveAlgo::kRabenseifner:
+      return "rabenseifner";
+    case CollectiveAlgo::kRing:
+      return "ring";
+    case CollectiveAlgo::kBruck:
+      return "bruck";
+    case CollectiveAlgo::kBinomial:
+      return "binomial";
+    case CollectiveAlgo::kPairwise:
+      return "pairwise";
+  }
+  return "unknown";
+}
+
 namespace {
 struct SplitEntry {
   int color;

@@ -34,10 +34,31 @@ class Communicator;
 /// Handle to a posted non-blocking receive. Because sends are eager, isend
 /// completes immediately and needs no handle; PendingRecv is the one
 /// genuinely asynchronous operation.
+///
+/// A message captured by ready() is owned by the handle; receive stats are
+/// counted at capture time. Destroying a handle that still owns an
+/// unconsumed message re-queues it at the front of the mailbox (and backs
+/// the capture out of the stats), so the message is never silently lost —
+/// a later matching receive observes it exactly as if the handle had never
+/// existed.
 class PendingRecv {
  public:
   PendingRecv(Communicator* comm, int source, int tag)
       : comm_(comm), source_(source), tag_(tag) {}
+  ~PendingRecv();
+
+  PendingRecv(const PendingRecv&) = delete;
+  PendingRecv& operator=(const PendingRecv&) = delete;
+  PendingRecv(PendingRecv&& other) noexcept
+      : comm_(other.comm_),
+        source_(other.source_),
+        tag_(other.tag_),
+        captured_(std::move(other.captured_)),
+        consumed_(other.consumed_) {
+    other.captured_.reset();
+    other.consumed_ = true;
+  }
+  PendingRecv& operator=(PendingRecv&&) = delete;
 
   /// Non-blocking: true once the matching message has arrived (and has been
   /// captured into this handle).
@@ -230,6 +251,30 @@ class Communicator {
     return value;
   }
 
+  // ---- framework-internal point-to-point --------------------------------
+  // Subsystem protocols (ODIN halo exchange and similar) send on reserved
+  // tags >= kInternalP2PBase so they can never collide with user traffic
+  // or with collective sequencing. Accounting is ordinary p2p: these are
+  // point-to-point messages, just on a fenced-off tag range.
+
+  template <class T>
+  void send_internal(std::span<const T> data, int dest, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_internal_tag(tag);
+    send_bytes_internal(std::as_bytes(data), dest, tag, /*internal=*/false);
+  }
+
+  template <class T>
+  void send_value_internal(const T& value, int dest, int tag) {
+    send_internal(std::span<const T>(&value, 1), dest, tag);
+  }
+
+  template <class T>
+  T recv_value_internal(int source, int tag) {
+    check_internal_tag(tag);
+    return recv_value<T>(source, tag);
+  }
+
   // ---- failure observability --------------------------------------------
 
   /// True when fault injection has killed `rank` (drivers use this to turn
@@ -260,26 +305,58 @@ class Communicator {
   // Every collective must be entered by all ranks in the same order.
   // Reduction functors must be associative and commutative.
 
+  /// Peers of the dissemination barrier at round distance `k`: every rank
+  /// signals (rank + k) mod p and waits on (rank - k) mod p. Public and
+  /// static so the pattern has a direct unit test — the previous inline
+  /// expression `(rank - k % p + p) % p` parenthesized the reduction
+  /// mod p around `k` alone and only matched the intended (rank - k) mod p
+  /// because the loop bound keeps k < p.
+  static int dissemination_send_peer(int rank, int k, int p) {
+    return (rank + k % p) % p;
+  }
+  static int dissemination_recv_peer(int rank, int k, int p) {
+    return ((rank - k) % p + p) % p;
+  }
+
   void barrier() {
     obs::Span span = coll_span("barrier", 0);
     const std::uint64_t seq = next_seq();
     const int p = size();
     for (int k = 1; k < p; k <<= 1) {
       const int phase = phase_of(k);
-      coll_send(std::span<const std::byte>{}, (rank_ + k) % p,
-                coll_tag(seq, phase));
-      coll_recv_any_size((rank_ - k % p + p) % p, coll_tag(seq, phase));
+      coll_send(std::span<const std::byte>{},
+                dissemination_send_peer(rank_, k, p), coll_tag(seq, phase));
+      coll_recv_any_size(dissemination_recv_peer(rank_, k, p),
+                         coll_tag(seq, phase));
     }
   }
 
   /// Binomial-tree broadcast of a fixed-size buffer.
   template <class T>
-  void broadcast(std::span<T> data, int root) {
+  void broadcast(std::span<T> data, int root,
+                 CollectiveAlgo algo = CollectiveAlgo::kAuto) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_root(root);
-    obs::Span span = coll_span("broadcast", data.size_bytes());
+    algo = resolve_rooted(algo, "broadcast");
+    obs::Span span = coll_span("broadcast", data.size_bytes(), algo);
+    note_algo(algo);
     const std::uint64_t seq = next_seq();
     const int p = size();
+    if (algo == CollectiveAlgo::kLinear) {
+      // Flat root-funneled reference: root sends the whole buffer to every
+      // rank (the baseline the benches compare the tree schedules against).
+      if (rank_ == root) {
+        for (int r = 0; r < p; ++r) {
+          if (r != root) {
+            coll_send(std::as_bytes(std::span<const T>(data)), r,
+                      coll_tag(seq, 0));
+          }
+        }
+      } else {
+        coll_recv_exact(std::as_writable_bytes(data), root, coll_tag(seq, 0));
+      }
+      return;
+    }
     const int vrank = (rank_ - root + p) % p;
     int mask = 1;
     while (mask < p) {
@@ -302,8 +379,9 @@ class Communicator {
   }
 
   template <class T>
-  T broadcast_value(T value, int root) {
-    broadcast(std::span<T>(&value, 1), root);
+  T broadcast_value(T value, int root,
+                    CollectiveAlgo algo = CollectiveAlgo::kAuto) {
+    broadcast(std::span<T>(&value, 1), root, algo);
     return value;
   }
 
@@ -316,15 +394,38 @@ class Communicator {
     return out;
   }
 
-  /// Element-wise binomial-tree reduction to `root`. `out` must be sized
-  /// like `in` on the root; other ranks may pass an empty span.
+  /// Element-wise reduction to `root` (binomial tree; kLinear forces the
+  /// flat every-rank-sends-to-root funnel). `out` must be sized like `in`
+  /// on the root; other ranks may pass an empty span.
   template <class T, class Op>
-  void reduce(std::span<const T> in, std::span<T> out, Op op, int root) {
+  void reduce(std::span<const T> in, std::span<T> out, Op op, int root,
+              CollectiveAlgo algo = CollectiveAlgo::kAuto) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_root(root);
-    obs::Span span = coll_span("reduce", in.size_bytes());
+    algo = resolve_rooted(algo, "reduce");
+    obs::Span span = coll_span("reduce", in.size_bytes(), algo);
+    note_algo(algo);
     const std::uint64_t seq = next_seq();
     const int p = size();
+    if (algo == CollectiveAlgo::kLinear) {
+      // Flat funnel: root receives and folds every rank's vector in rank
+      // order — (p-1)*n bytes concentrated at the root.
+      if (rank_ == root) {
+        require<CommError>(out.size() == in.size(),
+                           "reduce: root output span has wrong size");
+        std::copy(in.begin(), in.end(), out.begin());
+        std::vector<T> incoming(in.size());
+        for (int r = 0; r < p; ++r) {
+          if (r == root) continue;
+          coll_recv_exact(std::as_writable_bytes(std::span<T>(incoming)), r,
+                          coll_tag(seq, 0));
+          combine(out, std::span<const T>(incoming), op);
+        }
+      } else {
+        coll_send(std::as_bytes(in), root, coll_tag(seq, 0));
+      }
+      return;
+    }
     const int vrank = (rank_ - root + p) % p;
     std::vector<T> partial(in.begin(), in.end());
     int mask = 1;
@@ -362,19 +463,93 @@ class Communicator {
     return out;  // meaningful only on root
   }
 
+  /// Allreduce. kAuto picks recursive doubling below
+  /// CollectivePolicy::allreduce_long_bytes and Rabenseifner
+  /// (reduce-scatter + allgather) at or above it; kLinear forces the old
+  /// root-funneled reduce+broadcast reference. `out` must be sized like
+  /// `in` on every rank; every rank must pass the same `algo`.
   template <class T, class Op>
-  void allreduce(std::span<const T> in, std::span<T> out, Op op) {
+  void allreduce(std::span<const T> in, std::span<T> out, Op op,
+                 CollectiveAlgo algo = CollectiveAlgo::kAuto) {
+    static_assert(std::is_trivially_copyable_v<T>);
     require<CommError>(out.size() == in.size(),
                        "allreduce: output span has wrong size");
-    obs::Span span = coll_span("allreduce", in.size_bytes());
-    reduce(in, out, op, 0);
-    broadcast(out, 0);
+    algo = resolve_allreduce(in.size_bytes(), algo);
+    obs::Span span = coll_span("allreduce", in.size_bytes(), algo);
+    note_algo(algo);
+    if (algo == CollectiveAlgo::kLinear) {
+      reduce(in, out, op, 0, CollectiveAlgo::kLinear);
+      broadcast(out, 0, CollectiveAlgo::kLinear);
+      return;
+    }
+    std::copy(in.begin(), in.end(), out.begin());
+    const int p = size();
+    const std::uint64_t seq = next_seq();
+    if (p == 1 || in.empty()) return;  // same branch on every rank
+    const std::size_t n = in.size();
+
+    // Non-power-of-two handling (both algorithms): the first 2*rem ranks
+    // fold pairwise onto the odd member, the surviving pof2 "core" ranks
+    // run the power-of-two schedule, and the result is fanned back out.
+    int pof2 = 1;
+    while (pof2 * 2 <= p) pof2 *= 2;
+    const int rem = p - pof2;
+    std::vector<T> incoming(n);
+    int newrank;
+    if (rank_ < 2 * rem) {
+      if (rank_ % 2 == 0) {
+        coll_send(std::as_bytes(std::span<const T>(out)), rank_ + 1,
+                  coll_tag(seq, 0));
+        newrank = -1;  // folded out until the final fan-back
+      } else {
+        coll_recv_exact(std::as_writable_bytes(std::span<T>(incoming)),
+                        rank_ - 1, coll_tag(seq, 0));
+        combine(out, std::span<const T>(incoming), op);
+        newrank = rank_ / 2;
+      }
+    } else {
+      newrank = rank_ - rem;
+    }
+
+    // Maps a core rank back to its real rank.
+    auto real_of = [&](int nr) { return nr < rem ? nr * 2 + 1 : nr + rem; };
+
+    if (newrank >= 0) {
+      if (algo == CollectiveAlgo::kRecursiveDoubling) {
+        int phase = 1;
+        for (int mask = 1; mask < pof2; mask <<= 1, ++phase) {
+          const int dst = real_of(newrank ^ mask);
+          coll_send(std::as_bytes(std::span<const T>(out)), dst,
+                    coll_tag(seq, phase));
+          coll_recv_exact(std::as_writable_bytes(std::span<T>(incoming)), dst,
+                          coll_tag(seq, phase));
+          note_phase_bytes(n * sizeof(T));
+          combine(out, std::span<const T>(incoming), op);
+        }
+      } else {  // kRabenseifner
+        rabenseifner_core(out, op, seq, pof2, newrank, real_of);
+      }
+    }
+
+    // Fan the finished vector back to the folded-out even ranks. The phase
+    // index is fixed (not derived from the loop counters) so both sides of
+    // each pair agree regardless of the core schedule's depth.
+    if (rank_ < 2 * rem) {
+      if (rank_ % 2 == 0) {
+        coll_recv_exact(std::as_writable_bytes(out), rank_ + 1,
+                        coll_tag(seq, kCollPhases - 1));
+      } else {
+        coll_send(std::as_bytes(std::span<const T>(out)), rank_ - 1,
+                  coll_tag(seq, kCollPhases - 1));
+      }
+    }
   }
 
   template <class T, class Op>
-  T allreduce_value(T value, Op op) {
+  T allreduce_value(T value, Op op,
+                    CollectiveAlgo algo = CollectiveAlgo::kAuto) {
     T out{};
-    allreduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), op);
+    allreduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), op, algo);
     return out;
   }
 
@@ -418,25 +593,71 @@ class Communicator {
   }
 
   /// Equal-count gather into rank-ordered contiguous output on root.
+  /// kAuto runs a binomial tree (log2(p) rounds; subtree payloads merge on
+  /// the way up instead of p-1 rank-ordered receives funnelling into the
+  /// root); kLinear forces the old root loop.
   template <class T>
-  void gather(std::span<const T> mine, std::vector<T>& all, int root) {
+  void gather(std::span<const T> mine, std::vector<T>& all, int root,
+              CollectiveAlgo algo = CollectiveAlgo::kAuto) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_root(root);
-    obs::Span span = coll_span("gather", mine.size_bytes());
+    algo = resolve_gather(algo);
+    obs::Span span = coll_span("gather", mine.size_bytes(), algo);
+    note_algo(algo);
     const std::uint64_t seq = next_seq();
-    if (rank_ == root) {
-      all.assign(mine.size() * static_cast<std::size_t>(size()), T{});
-      for (int r = 0; r < size(); ++r) {
-        std::span<T> slot(all.data() + mine.size() * static_cast<std::size_t>(r),
-                          mine.size());
-        if (r == rank_) {
-          std::copy(mine.begin(), mine.end(), slot.begin());
-        } else {
-          coll_recv_exact(std::as_writable_bytes(slot), r, coll_tag(seq, 0));
+    const int p = size();
+    const std::size_t cnt = mine.size();
+    if (algo == CollectiveAlgo::kLinear) {
+      if (rank_ == root) {
+        all.assign(cnt * static_cast<std::size_t>(p), T{});
+        for (int r = 0; r < p; ++r) {
+          std::span<T> slot(all.data() + cnt * static_cast<std::size_t>(r),
+                            cnt);
+          if (r == rank_) {
+            std::copy(mine.begin(), mine.end(), slot.begin());
+          } else {
+            coll_recv_exact(std::as_writable_bytes(slot), r, coll_tag(seq, 0));
+          }
         }
+      } else {
+        coll_send(std::as_bytes(mine), root, coll_tag(seq, 0));
       }
-    } else {
-      coll_send(std::as_bytes(mine), root, coll_tag(seq, 0));
+      return;
+    }
+    // Binomial tree over virtual ranks (vrank 0 = root). Each rank
+    // accumulates its subtree's blocks contiguously in vrank order, then
+    // ships the whole thing to its parent in one message.
+    const int vrank = (rank_ - root + p) % p;
+    std::vector<T> buf(mine.begin(), mine.end());
+    for (int mask = 1; mask < p; mask <<= 1) {
+      if (vrank & mask) {
+        // All lower bits are zero here, so vrank - mask is the parent.
+        coll_send(std::as_bytes(std::span<const T>(buf)),
+                  (vrank - mask + root) % p, coll_tag(seq, phase_of(mask)));
+        break;
+      }
+      const int child_v = vrank + mask;
+      if (child_v < p) {
+        const int child_blocks = std::min(mask, p - child_v);
+        const std::size_t old = buf.size();
+        buf.resize(old + static_cast<std::size_t>(child_blocks) * cnt);
+        coll_recv_exact(
+            std::as_writable_bytes(std::span<T>(buf).subspan(old)),
+            (child_v + root) % p, coll_tag(seq, phase_of(mask)));
+        note_phase_bytes(buf.size() * sizeof(T) - old * sizeof(T));
+      }
+    }
+    if (rank_ == root) {
+      // buf holds blocks for vranks 0..p-1; rotate back to real-rank order.
+      all.assign(cnt * static_cast<std::size_t>(p), T{});
+      for (int v = 0; v < p; ++v) {
+        const int r = (v + root) % p;
+        std::copy_n(buf.begin() + static_cast<std::ptrdiff_t>(
+                                      static_cast<std::size_t>(v) * cnt),
+                    cnt,
+                    all.begin() + static_cast<std::ptrdiff_t>(
+                                      static_cast<std::size_t>(r) * cnt));
+      }
     }
   }
 
@@ -446,7 +667,9 @@ class Communicator {
   std::vector<std::vector<T>> gatherv(std::span<const T> mine, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_root(root);
-    obs::Span span = coll_span("gatherv", mine.size_bytes());
+    obs::Span span =
+        coll_span("gatherv", mine.size_bytes(), CollectiveAlgo::kLinear);
+    note_algo(CollectiveAlgo::kLinear);
     const std::uint64_t seq = next_seq();
     std::vector<std::vector<T>> chunks;
     if (rank_ == root) {
@@ -465,64 +688,219 @@ class Communicator {
     return chunks;
   }
 
-  /// Gather + broadcast: every rank gets the rank-ordered concatenation.
+  /// Every rank gets the rank-ordered concatenation. kAuto picks Bruck's
+  /// log-round schedule below CollectivePolicy::allgather_long_bytes and
+  /// the bandwidth-optimal ring at or above it; kLinear forces the old
+  /// gather-to-0 + broadcast reference. Counts must match on every rank.
   template <class T>
-  std::vector<T> allgather(std::span<const T> mine) {
-    obs::Span span = coll_span("allgather", mine.size_bytes());
-    std::vector<T> all;
-    gather(mine, all, 0);
-    std::uint64_t total = all.size();
-    total = broadcast_value(total, 0);
-    all.resize(total);
-    broadcast(std::span<T>(all), 0);
+  std::vector<T> allgather(std::span<const T> mine,
+                           CollectiveAlgo algo = CollectiveAlgo::kAuto) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    algo = resolve_allgather(mine.size_bytes(), algo);
+    obs::Span span = coll_span("allgather", mine.size_bytes(), algo);
+    note_algo(algo);
+    if (algo == CollectiveAlgo::kLinear) {
+      std::vector<T> all;
+      gather(mine, all, 0, CollectiveAlgo::kLinear);
+      std::uint64_t total = all.size();
+      total = broadcast_value(total, 0, CollectiveAlgo::kLinear);
+      all.resize(total);
+      broadcast(std::span<T>(all), 0, CollectiveAlgo::kLinear);
+      return all;
+    }
+    const int p = size();
+    const std::size_t cnt = mine.size();
+    std::vector<T> all(cnt * static_cast<std::size_t>(p));
+    const std::uint64_t seq = next_seq();
+    auto block = [&](std::vector<T>& v, int b) {
+      return std::span<T>(v).subspan(static_cast<std::size_t>(b) * cnt, cnt);
+    };
+    if (p == 1) {
+      std::copy(mine.begin(), mine.end(), all.begin());
+      return all;
+    }
+    if (algo == CollectiveAlgo::kRing) {
+      // p-1 neighbour rounds; every rank relays the block it received in
+      // the previous round, so no rank ever handles more than its share.
+      std::copy(mine.begin(), mine.end(), block(all, rank_).begin());
+      const int right = (rank_ + 1) % p;
+      const int left = (rank_ - 1 + p) % p;
+      for (int step = 0; step < p - 1; ++step) {
+        const int sblk = (rank_ - step + p) % p;
+        const int rblk = (rank_ - step - 1 + p) % p;
+        coll_send(std::as_bytes(std::span<const T>(block(all, sblk))), right,
+                  coll_tag(seq, step));
+        coll_recv_exact(std::as_writable_bytes(block(all, rblk)), left,
+                        coll_tag(seq, step));
+        note_phase_bytes(cnt * sizeof(T));
+      }
+      return all;
+    }
+    // Bruck: ceil(log2 p) doubling rounds over a rotated buffer, then one
+    // local unrotation. Round k ships min(2^k, p - 2^k) blocks.
+    std::vector<T> tmp(cnt * static_cast<std::size_t>(p));
+    std::copy(mine.begin(), mine.end(), tmp.begin());
+    int held = 1;
+    int phase = 0;
+    while (held < p) {
+      const int blocks = std::min(held, p - held);
+      const int dst = (rank_ - held + p) % p;
+      const int src = (rank_ + held) % p;
+      const std::size_t nelems = static_cast<std::size_t>(blocks) * cnt;
+      coll_send(std::as_bytes(std::span<const T>(tmp.data(), nelems)), dst,
+                coll_tag(seq, phase));
+      coll_recv_exact(
+          std::as_writable_bytes(std::span<T>(
+              tmp.data() + static_cast<std::size_t>(held) * cnt, nelems)),
+          src, coll_tag(seq, phase));
+      note_phase_bytes(nelems * sizeof(T));
+      held += blocks;
+      ++phase;
+    }
+    // tmp block j holds rank (rank_ + j) % p's contribution.
+    for (int j = 0; j < p; ++j) {
+      const int r = (rank_ + j) % p;
+      std::copy(block(tmp, j).begin(), block(tmp, j).end(),
+                block(all, r).begin());
+    }
     return all;
   }
 
   template <class T>
-  std::vector<T> allgather_value(const T& value) {
-    return allgather(std::span<const T>(&value, 1));
+  std::vector<T> allgather_value(const T& value,
+                                 CollectiveAlgo algo = CollectiveAlgo::kAuto) {
+    return allgather(std::span<const T>(&value, 1), algo);
   }
 
-  /// Variable-count allgather; every rank gets all per-rank chunks.
+  /// Variable-count allgather; every rank gets all per-rank chunks. One
+  /// fixed-size round of counts (Bruck under kAuto) followed by a ring of
+  /// the variable chunks — the pre-PR root round-trips (gather + two
+  /// broadcasts for counts, gatherv + broadcast for payload) are gone.
   template <class T>
-  std::vector<std::vector<T>> allgatherv(std::span<const T> mine) {
-    obs::Span span = coll_span("allgatherv", mine.size_bytes());
+  std::vector<std::vector<T>> allgatherv(
+      std::span<const T> mine, CollectiveAlgo algo = CollectiveAlgo::kAuto) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const bool linear = algo == CollectiveAlgo::kLinear ||
+                        (algo == CollectiveAlgo::kAuto &&
+                         ctx_->config().coll.allgather ==
+                             CollectiveAlgo::kLinear);
+    obs::Span span = coll_span(
+        "allgatherv", mine.size_bytes(),
+        linear ? CollectiveAlgo::kLinear : CollectiveAlgo::kRing);
+    note_algo(linear ? CollectiveAlgo::kLinear : CollectiveAlgo::kRing);
+    if (linear) {
+      auto counts =
+          allgather_value<std::uint64_t>(mine.size(), CollectiveAlgo::kLinear);
+      std::vector<T> flat = allgather_concat(mine, counts);
+      std::vector<std::vector<T>> chunks(counts.size());
+      std::size_t off = 0;
+      for (std::size_t r = 0; r < counts.size(); ++r) {
+        chunks[r].assign(
+            flat.begin() + static_cast<std::ptrdiff_t>(off),
+            flat.begin() + static_cast<std::ptrdiff_t>(off + counts[r]));
+        off += counts[r];
+      }
+      return chunks;
+    }
+    const int p = size();
     auto counts = allgather_value<std::uint64_t>(mine.size());
-    std::vector<T> flat = allgather_concat(mine, counts);
-    std::vector<std::vector<T>> chunks(counts.size());
-    std::size_t off = 0;
-    for (std::size_t r = 0; r < counts.size(); ++r) {
-      chunks[r].assign(flat.begin() + static_cast<std::ptrdiff_t>(off),
-                       flat.begin() + static_cast<std::ptrdiff_t>(off + counts[r]));
-      off += counts[r];
+    std::vector<std::vector<T>> chunks(static_cast<std::size_t>(p));
+    chunks[static_cast<std::size_t>(rank_)].assign(mine.begin(), mine.end());
+    if (p == 1) return chunks;
+    const std::uint64_t seq = next_seq();
+    const int right = (rank_ + 1) % p;
+    const int left = (rank_ - 1 + p) % p;
+    for (int step = 0; step < p - 1; ++step) {
+      const int sblk = (rank_ - step + p) % p;
+      const int rblk = (rank_ - step - 1 + p) % p;
+      auto& incoming = chunks[static_cast<std::size_t>(rblk)];
+      coll_send(std::as_bytes(std::span<const T>(
+                    chunks[static_cast<std::size_t>(sblk)])),
+                right, coll_tag(seq, step));
+      incoming.resize(counts[static_cast<std::size_t>(rblk)]);
+      coll_recv_exact(std::as_writable_bytes(std::span<T>(incoming)), left,
+                      coll_tag(seq, step));
+      note_phase_bytes(chunks[static_cast<std::size_t>(sblk)].size() *
+                       sizeof(T));
     }
     return chunks;
   }
 
-  /// Equal-count scatter from root's rank-ordered buffer.
+  /// Equal-count scatter from root's rank-ordered buffer. kAuto runs a
+  /// binomial tree: the root hands each child its whole subtree's blocks
+  /// in one message and the tree fans them out, log2(p) rounds deep.
+  /// kLinear forces the old p-1 sends at the root.
   template <class T>
-  void scatter(std::span<const T> all, std::span<T> mine, int root) {
+  void scatter(std::span<const T> all, std::span<T> mine, int root,
+               CollectiveAlgo algo = CollectiveAlgo::kAuto) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_root(root);
-    obs::Span span = coll_span("scatter", mine.size_bytes());
+    algo = resolve_scatter(algo);
+    obs::Span span = coll_span("scatter", mine.size_bytes(), algo);
+    note_algo(algo);
     const std::uint64_t seq = next_seq();
+    const int p = size();
+    const std::size_t cnt = mine.size();
     if (rank_ == root) {
-      require<CommError>(all.size() ==
-                             mine.size() * static_cast<std::size_t>(size()),
+      require<CommError>(all.size() == cnt * static_cast<std::size_t>(p),
                          "scatter: root buffer size != count * nranks");
-      for (int r = 0; r < size(); ++r) {
-        std::span<const T> slot(
-            all.data() + mine.size() * static_cast<std::size_t>(r),
-            mine.size());
-        if (r == rank_) {
-          std::copy(slot.begin(), slot.end(), mine.begin());
-        } else {
-          coll_send(std::as_bytes(slot), r, coll_tag(seq, 0));
+    }
+    if (algo == CollectiveAlgo::kLinear) {
+      if (rank_ == root) {
+        for (int r = 0; r < p; ++r) {
+          std::span<const T> slot(all.data() + cnt * static_cast<std::size_t>(r),
+                                  cnt);
+          if (r == rank_) {
+            std::copy(slot.begin(), slot.end(), mine.begin());
+          } else {
+            coll_send(std::as_bytes(slot), r, coll_tag(seq, 0));
+          }
         }
+      } else {
+        coll_recv_exact(std::as_writable_bytes(mine), root, coll_tag(seq, 0));
+      }
+      return;
+    }
+    // Binomial tree over virtual ranks (vrank 0 = root). `buf` holds this
+    // rank's subtree blocks in vrank order, my own block first.
+    const int vrank = (rank_ - root + p) % p;
+    std::vector<T> buf;
+    int subtree;  // blocks under (and including) this vrank
+    if (vrank == 0) {
+      subtree = p;
+      buf.resize(cnt * static_cast<std::size_t>(p));
+      for (int v = 0; v < p; ++v) {
+        const int r = (v + root) % p;
+        std::copy_n(all.begin() + static_cast<std::ptrdiff_t>(
+                                      static_cast<std::size_t>(r) * cnt),
+                    cnt,
+                    buf.begin() + static_cast<std::ptrdiff_t>(
+                                      static_cast<std::size_t>(v) * cnt));
       }
     } else {
-      coll_recv_exact(std::as_writable_bytes(mine), root, coll_tag(seq, 0));
+      const int lowbit = vrank & (-vrank);
+      subtree = std::min(lowbit, p - vrank);
+      buf.resize(static_cast<std::size_t>(subtree) * cnt);
+      coll_recv_exact(std::as_writable_bytes(std::span<T>(buf)),
+                      (vrank - lowbit + root) % p,
+                      coll_tag(seq, phase_of(lowbit)));
     }
+    // Children sit at vrank + mask for each power of two mask below the
+    // subtree span; walk them largest-first so deep subtrees start early.
+    int top = 1;
+    while (top < p) top <<= 1;
+    for (int mask = top >> 1; mask >= 1; mask >>= 1) {
+      if (mask >= subtree) continue;
+      const int child_v = vrank + mask;  // < p because mask < subtree
+      const int child_blocks = std::min(mask, p - child_v);
+      coll_send(std::as_bytes(std::span<const T>(buf).subspan(
+                    static_cast<std::size_t>(mask) * cnt,
+                    static_cast<std::size_t>(child_blocks) * cnt)),
+                (child_v + root) % p, coll_tag(seq, phase_of(mask)));
+      note_phase_bytes(static_cast<std::size_t>(child_blocks) * cnt *
+                       sizeof(T));
+    }
+    std::copy_n(buf.begin(), cnt, mine.begin());
   }
 
   /// Variable-count scatter; `parts` is consulted only on root.
@@ -530,7 +908,8 @@ class Communicator {
   std::vector<T> scatterv(const std::vector<std::vector<T>>& parts, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_root(root);
-    obs::Span span = coll_span("scatterv", 0);
+    obs::Span span = coll_span("scatterv", 0, CollectiveAlgo::kLinear);
+    note_algo(CollectiveAlgo::kLinear);
     const std::uint64_t seq = next_seq();
     if (rank_ == root) {
       require<CommError>(parts.size() == static_cast<std::size_t>(size()),
@@ -548,7 +927,8 @@ class Communicator {
   /// Equal-count personalized all-to-all: sendbuf holds `count` elements per
   /// destination rank in rank order; recvbuf likewise per source.
   template <class T>
-  void alltoall(std::span<const T> sendbuf, std::span<T> recvbuf) {
+  void alltoall(std::span<const T> sendbuf, std::span<T> recvbuf,
+                CollectiveAlgo algo = CollectiveAlgo::kAuto) {
     static_assert(std::is_trivially_copyable_v<T>);
     const int p = size();
     require<CommError>(sendbuf.size() == recvbuf.size() &&
@@ -556,24 +936,42 @@ class Communicator {
                        "alltoall: buffer sizes must be equal multiples of "
                        "the rank count");
     const std::size_t count = sendbuf.size() / static_cast<std::size_t>(p);
-    obs::Span span = coll_span("alltoall", sendbuf.size_bytes());
+    algo = resolve_alltoall(algo);
+    obs::Span span = coll_span("alltoall", sendbuf.size_bytes(), algo);
+    note_algo(algo);
     const std::uint64_t seq = next_seq();
-    for (int r = 0; r < p; ++r) {
-      std::span<const T> slot(sendbuf.data() + count * static_cast<std::size_t>(r),
-                              count);
-      if (r == rank_) {
-        std::copy(slot.begin(), slot.end(),
-                  recvbuf.begin() + static_cast<std::ptrdiff_t>(
-                                        count * static_cast<std::size_t>(r)));
-      } else {
-        coll_send(std::as_bytes(slot), r, coll_tag(seq, 0));
+    auto sendblk = [&](int r) {
+      return std::span<const T>(
+          sendbuf.data() + count * static_cast<std::size_t>(r), count);
+    };
+    auto recvblk = [&](int r) {
+      return std::span<T>(recvbuf.data() + count * static_cast<std::size_t>(r),
+                          count);
+    };
+    std::copy(sendblk(rank_).begin(), sendblk(rank_).end(),
+              recvblk(rank_).begin());
+    if (algo == CollectiveAlgo::kLinear) {
+      for (int r = 0; r < p; ++r) {
+        if (r != rank_) coll_send(std::as_bytes(sendblk(r)), r, coll_tag(seq, 0));
       }
+      for (int r = 0; r < p; ++r) {
+        if (r != rank_) {
+          coll_recv_exact(std::as_writable_bytes(recvblk(r)), r,
+                          coll_tag(seq, 0));
+        }
+      }
+      return;
     }
-    for (int r = 0; r < p; ++r) {
-      if (r == rank_) continue;
-      std::span<T> slot(recvbuf.data() + count * static_cast<std::size_t>(r),
-                        count);
-      coll_recv_exact(std::as_writable_bytes(slot), r, coll_tag(seq, 0));
+    // Pairwise exchange: p-1 balanced rounds; at step k every rank talks
+    // to exactly one partner in each direction instead of the rank-ordered
+    // receive ladder that serialized on low ranks.
+    for (int step = 1; step < p; ++step) {
+      const int dst = (rank_ + step) % p;
+      const int src = (rank_ - step + p) % p;
+      coll_send(std::as_bytes(sendblk(dst)), dst, coll_tag(seq, step - 1));
+      coll_recv_exact(std::as_writable_bytes(recvblk(src)), src,
+                      coll_tag(seq, step - 1));
+      note_phase_bytes(count * sizeof(T));
     }
   }
 
@@ -582,27 +980,47 @@ class Communicator {
   /// return value's element [r] came from rank r.
   template <class T>
   std::vector<std::vector<T>> alltoallv(
-      const std::vector<std::vector<T>>& sendparts) {
+      const std::vector<std::vector<T>>& sendparts,
+      CollectiveAlgo algo = CollectiveAlgo::kAuto) {
     static_assert(std::is_trivially_copyable_v<T>);
     const int p = size();
     require<CommError>(sendparts.size() == static_cast<std::size_t>(p),
                        "alltoallv: need one part per destination rank");
     std::size_t send_bytes = 0;
     for (const auto& part : sendparts) send_bytes += part.size() * sizeof(T);
-    obs::Span span = coll_span("alltoallv", send_bytes);
+    algo = resolve_alltoall(algo);
+    obs::Span span = coll_span("alltoallv", send_bytes, algo);
+    note_algo(algo);
     const std::uint64_t seq = next_seq();
-    for (int r = 0; r < p; ++r) {
-      if (r == rank_) continue;
-      coll_send(std::as_bytes(std::span<const T>(sendparts[static_cast<std::size_t>(r)])),
-                r, coll_tag(seq, 0));
-    }
     std::vector<std::vector<T>> recvparts(static_cast<std::size_t>(p));
     recvparts[static_cast<std::size_t>(rank_)] =
         sendparts[static_cast<std::size_t>(rank_)];
-    for (int r = 0; r < p; ++r) {
-      if (r == rank_) continue;
-      recvparts[static_cast<std::size_t>(r)] =
-          coll_recv_variable<T>(r, coll_tag(seq, 0));
+    if (algo == CollectiveAlgo::kLinear) {
+      for (int r = 0; r < p; ++r) {
+        if (r == rank_) continue;
+        coll_send(std::as_bytes(std::span<const T>(
+                      sendparts[static_cast<std::size_t>(r)])),
+                  r, coll_tag(seq, 0));
+      }
+      for (int r = 0; r < p; ++r) {
+        if (r == rank_) continue;
+        recvparts[static_cast<std::size_t>(r)] =
+            coll_recv_variable<T>(r, coll_tag(seq, 0));
+      }
+      return recvparts;
+    }
+    // Pairwise exchange, same schedule as alltoall but with per-pair
+    // variable payloads.
+    for (int step = 1; step < p; ++step) {
+      const int dst = (rank_ + step) % p;
+      const int src = (rank_ - step + p) % p;
+      coll_send(std::as_bytes(std::span<const T>(
+                    sendparts[static_cast<std::size_t>(dst)])),
+                dst, coll_tag(seq, step - 1));
+      recvparts[static_cast<std::size_t>(src)] =
+          coll_recv_variable<T>(src, coll_tag(seq, step - 1));
+      note_phase_bytes(sendparts[static_cast<std::size_t>(dst)].size() *
+                       sizeof(T));
     }
     return recvparts;
   }
@@ -624,6 +1042,11 @@ class Communicator {
   }
   void check_user_tag_or_any(int tag) const {
     if (tag != kAnyTag) check_user_tag(tag);
+  }
+  void check_internal_tag(int tag) const {
+    require<CommError>(tag >= kInternalP2PBase,
+                       util::cat("internal p2p tag ", tag,
+                                 " below reserved base ", kInternalP2PBase));
   }
   void check_root(int root) const {
     require<CommError>(root >= 0 && root < size(),
@@ -764,6 +1187,14 @@ class Communicator {
     return span;
   }
 
+  /// As above, additionally tagged with the schedule that was selected.
+  obs::Span coll_span(const char* name, std::size_t bytes,
+                      CollectiveAlgo algo) {
+    obs::Span span = coll_span(name, bytes);
+    if (span.active()) span.arg("algo", collective_algo_name(algo));
+    return span;
+  }
+
   static int phase_of(int mask) {
     int phase = 0;
     while (mask > 1) {
@@ -773,13 +1204,184 @@ class Communicator {
     return phase;
   }
 
+  /// Phase slots per collective instance. Sized for the multi-phase
+  /// schedules: pairwise alltoall and the ring use one phase per round
+  /// (p - 1 rounds), Rabenseifner uses 2·log2(p) + 2. A phase beyond the
+  /// slot count wraps; that is safe because within one collective a
+  /// wrapped tag only ever re-pairs the same (source, dest) edge, where
+  /// FIFO non-overtaking keeps messages ordered.
+  static constexpr int kCollPhases = 256;
+
   int coll_tag(std::uint64_t seq, int phase) const {
-    // 32 phases per collective instance; sequence wraps far beyond any
-    // realistic in-flight window.
     constexpr std::uint64_t kSlots =
-        (static_cast<std::uint64_t>(1) << 30) / 32;
+        static_cast<std::uint64_t>(kCollTagSpan) / kCollPhases;
     return kMaxUserTag +
-           static_cast<int>((seq % kSlots) * 32 + static_cast<std::uint64_t>(phase));
+           static_cast<int>((seq % kSlots) * kCollPhases +
+                            static_cast<std::uint64_t>(phase % kCollPhases));
+  }
+
+  // ---- collective algorithm machinery -----------------------------------
+
+  /// Element-wise fold of `incoming` into `acc`.
+  template <class T, class Op>
+  static void combine(std::span<T> acc, std::span<const T> incoming, Op op) {
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      acc[i] = op(acc[i], incoming[i]);
+    }
+  }
+
+  /// Bumps the per-rank selection counter for the schedule that ran.
+  void note_algo(CollectiveAlgo algo) {
+    auto& s = stats();
+    switch (algo) {
+      case CollectiveAlgo::kLinear: ++s.algo_linear; break;
+      case CollectiveAlgo::kRecursiveDoubling: ++s.algo_recursive_doubling; break;
+      case CollectiveAlgo::kRabenseifner: ++s.algo_rabenseifner; break;
+      case CollectiveAlgo::kRing: ++s.algo_ring; break;
+      case CollectiveAlgo::kBruck: ++s.algo_bruck; break;
+      case CollectiveAlgo::kBinomial: ++s.algo_binomial; break;
+      case CollectiveAlgo::kPairwise: ++s.algo_pairwise; break;
+      case CollectiveAlgo::kAuto: break;  // resolved before this point
+    }
+  }
+
+  /// Per-phase send volume, visible as a counter track in the trace.
+  void note_phase_bytes(std::size_t bytes) {
+    obs::counter("comm.coll_phase_bytes", "comm", static_cast<double>(bytes));
+  }
+
+  CollectiveAlgo resolve_allreduce(std::size_t bytes,
+                                   CollectiveAlgo call) const {
+    CollectiveAlgo a = call != CollectiveAlgo::kAuto
+                           ? call
+                           : ctx_->config().coll.allreduce;
+    if (a == CollectiveAlgo::kAuto) {
+      a = bytes >= ctx_->config().coll.allreduce_long_bytes
+              ? CollectiveAlgo::kRabenseifner
+              : CollectiveAlgo::kRecursiveDoubling;
+    }
+    require<CommError>(a == CollectiveAlgo::kLinear ||
+                           a == CollectiveAlgo::kRecursiveDoubling ||
+                           a == CollectiveAlgo::kRabenseifner,
+                       "allreduce: unsupported algorithm");
+    return a;
+  }
+
+  CollectiveAlgo resolve_allgather(std::size_t bytes,
+                                   CollectiveAlgo call) const {
+    CollectiveAlgo a = call != CollectiveAlgo::kAuto
+                           ? call
+                           : ctx_->config().coll.allgather;
+    if (a == CollectiveAlgo::kAuto) {
+      a = bytes >= ctx_->config().coll.allgather_long_bytes
+              ? CollectiveAlgo::kRing
+              : CollectiveAlgo::kBruck;
+    }
+    require<CommError>(a == CollectiveAlgo::kLinear ||
+                           a == CollectiveAlgo::kBruck ||
+                           a == CollectiveAlgo::kRing,
+                       "allgather: unsupported algorithm");
+    return a;
+  }
+
+  // broadcast/reduce: binomial by default, kLinear forces the flat
+  // root-funneled loop. No policy field — per-call override only.
+  CollectiveAlgo resolve_rooted(CollectiveAlgo call, const char* what) const {
+    CollectiveAlgo a =
+        call == CollectiveAlgo::kAuto ? CollectiveAlgo::kBinomial : call;
+    require<CommError>(
+        a == CollectiveAlgo::kLinear || a == CollectiveAlgo::kBinomial,
+        util::cat(what, ": unsupported algorithm"));
+    return a;
+  }
+
+  CollectiveAlgo resolve_gather(CollectiveAlgo call) const {
+    CollectiveAlgo a =
+        call != CollectiveAlgo::kAuto ? call : ctx_->config().coll.gather;
+    if (a == CollectiveAlgo::kAuto) a = CollectiveAlgo::kBinomial;
+    require<CommError>(
+        a == CollectiveAlgo::kLinear || a == CollectiveAlgo::kBinomial,
+        "gather/scatter: unsupported algorithm");
+    return a;
+  }
+
+  CollectiveAlgo resolve_scatter(CollectiveAlgo call) const {
+    CollectiveAlgo a =
+        call != CollectiveAlgo::kAuto ? call : ctx_->config().coll.scatter;
+    if (a == CollectiveAlgo::kAuto) a = CollectiveAlgo::kBinomial;
+    require<CommError>(
+        a == CollectiveAlgo::kLinear || a == CollectiveAlgo::kBinomial,
+        "gather/scatter: unsupported algorithm");
+    return a;
+  }
+
+  CollectiveAlgo resolve_alltoall(CollectiveAlgo call) const {
+    CollectiveAlgo a =
+        call != CollectiveAlgo::kAuto ? call : ctx_->config().coll.alltoall;
+    if (a == CollectiveAlgo::kAuto) a = CollectiveAlgo::kPairwise;
+    require<CommError>(
+        a == CollectiveAlgo::kLinear || a == CollectiveAlgo::kPairwise,
+        "alltoall: unsupported algorithm");
+    return a;
+  }
+
+  /// Rabenseifner core among the pof2 surviving ranks: recursive-halving
+  /// reduce-scatter, then recursive-doubling allgather over the same chunk
+  /// layout. `buf` is this rank's working vector and receives the result.
+  template <class T, class Op, class RealOf>
+  void rabenseifner_core(std::span<T> buf, Op op, std::uint64_t seq, int pof2,
+                         int newrank, RealOf real_of) {
+    const std::size_t n = buf.size();
+    // pof2 nearly-equal contiguous chunks (first n % pof2 get one extra).
+    std::vector<std::size_t> disp(static_cast<std::size_t>(pof2) + 1, 0);
+    const std::size_t base = n / static_cast<std::size_t>(pof2);
+    const std::size_t extra = n % static_cast<std::size_t>(pof2);
+    for (int c = 0; c < pof2; ++c) {
+      disp[static_cast<std::size_t>(c) + 1] =
+          disp[static_cast<std::size_t>(c)] + base +
+          (static_cast<std::size_t>(c) < extra ? 1 : 0);
+    }
+    auto range = [&](int a, int b) {
+      return buf.subspan(disp[static_cast<std::size_t>(a)],
+                         disp[static_cast<std::size_t>(b)] -
+                             disp[static_cast<std::size_t>(a)]);
+    };
+    std::vector<T> incoming;
+    int phase = 1;
+    // Reduce-scatter by recursive halving over the chunk range [lo, hi):
+    // each round trades away the half not containing chunk `newrank`.
+    int lo = 0, hi = pof2;
+    for (int mask = pof2 / 2; mask > 0; mask >>= 1, ++phase) {
+      const int dst = real_of(newrank ^ mask);
+      const int mid = lo + (hi - lo) / 2;
+      const bool keep_low = (newrank & mask) == 0;
+      const int slo = keep_low ? mid : lo;
+      const int shi = keep_low ? hi : mid;
+      const int rlo = keep_low ? lo : mid;
+      const int rhi = keep_low ? mid : hi;
+      coll_send(std::as_bytes(std::span<const T>(range(slo, shi))), dst,
+                coll_tag(seq, phase));
+      incoming.resize(range(rlo, rhi).size());
+      coll_recv_exact(std::as_writable_bytes(std::span<T>(incoming)), dst,
+                      coll_tag(seq, phase));
+      note_phase_bytes(range(slo, shi).size_bytes());
+      combine(range(rlo, rhi), std::span<const T>(incoming), op);
+      lo = rlo;
+      hi = rhi;
+    }
+    // This rank now owns the fully reduced chunk `newrank` (== lo).
+    // Allgather by recursive doubling over aligned chunk blocks.
+    for (int mask = 1; mask < pof2; mask <<= 1, ++phase) {
+      const int newdst = newrank ^ mask;
+      const int dst = real_of(newdst);
+      const int mylo = newrank & ~(mask - 1);
+      const int peerlo = newdst & ~(mask - 1);
+      coll_send(std::as_bytes(std::span<const T>(range(mylo, mylo + mask))),
+                dst, coll_tag(seq, phase));
+      coll_recv_exact(std::as_writable_bytes(range(peerlo, peerlo + mask)),
+                      dst, coll_tag(seq, phase));
+      note_phase_bytes(range(mylo, mylo + mask).size_bytes());
+    }
   }
 
   std::shared_ptr<Context> ctx_;
@@ -792,6 +1394,11 @@ inline bool PendingRecv::ready() {
   auto env = comm_->ctx_->mailbox(comm_->rank_).try_pop_matching(source_, tag_);
   if (!env.has_value()) return false;
   comm_->verify_integrity(*env);
+  // The message leaves the mailbox here, so this is where it counts as
+  // received — wait() may never run (see the destructor).
+  auto& s = comm_->stats();
+  ++s.p2p_messages_received;
+  s.p2p_bytes_received += env->payload.size();
   captured_ = std::move(*env);
   return true;
 }
@@ -799,16 +1406,25 @@ inline bool PendingRecv::ready() {
 inline Envelope PendingRecv::wait() {
   require<CommError>(!consumed_, "PendingRecv::wait: already consumed");
   consumed_ = true;
-  auto& s = comm_->stats();
-  if (captured_.has_value()) {
-    ++s.p2p_messages_received;
-    s.p2p_bytes_received += captured_->payload.size();
-    return std::move(*captured_);
-  }
+  if (captured_.has_value()) return std::move(*captured_);
   Envelope env = comm_->pop(source_, tag_);
+  auto& s = comm_->stats();
   ++s.p2p_messages_received;
   s.p2p_bytes_received += env.payload.size();
   return env;
+}
+
+inline PendingRecv::~PendingRecv() {
+  if (!captured_.has_value() || consumed_) return;
+  // ready() captured a message that was never consumed: put it back at the
+  // front of the mailbox (it was the earliest match, so front order is
+  // preserved) and back the capture out of the receive stats — the later
+  // real receive will count it exactly once.
+  auto& s = comm_->stats();
+  --s.p2p_messages_received;
+  s.p2p_bytes_received -= captured_->payload.size();
+  ++s.pending_requeued;
+  comm_->ctx_->mailbox(comm_->rank_).requeue(std::move(*captured_));
 }
 
 }  // namespace pyhpc::comm

@@ -1,14 +1,59 @@
 // Per-world communication policy: receive deadlines, the deadlock
-// watchdog, and an optional fault injector. Passed to comm::run (and held
-// by the Context), so every Communicator of the world sees the same policy.
+// watchdog, collective algorithm selection, and an optional fault
+// injector. Passed to comm::run (and held by the Context), so every
+// Communicator of the world sees the same policy.
 #pragma once
 
 #include <chrono>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 
 namespace pyhpc::comm {
 
 class FaultInjector;
+
+/// Which schedule a collective runs on. `kAuto` resolves through the
+/// world's CollectivePolicy (forced algorithm if set, otherwise the size
+/// thresholds); any other value forces that schedule for one call. Every
+/// rank of a collective must pass the same value — selection is part of
+/// the matched schedule, exactly like the payload size.
+enum class CollectiveAlgo : std::uint8_t {
+  kAuto = 0,
+  /// Root-funneled reference schedules (reduce+broadcast allreduce,
+  /// rank-ordered loops at the root). Kept selectable as the baseline the
+  /// benches compare against and as a debugging fallback.
+  kLinear,
+  kRecursiveDoubling,  ///< allreduce, short messages: log2(p) full-vector rounds
+  kRabenseifner,       ///< allreduce, long messages: reduce-scatter + allgather
+  kRing,               ///< allgather(v), long messages: p-1 neighbour rounds
+  kBruck,              ///< allgather, short messages: ceil(log2 p) doubling rounds
+  kBinomial,           ///< scatter/gather: log2(p)-deep tree
+  kPairwise,           ///< alltoall(v): p-1 balanced exchange rounds
+};
+
+const char* collective_algo_name(CollectiveAlgo algo);
+
+/// Per-world collective algorithm selection. A forced per-operation value
+/// overrides the size thresholds; CollectiveAlgo::kAuto keeps the
+/// threshold-driven default. Thresholds compare the per-rank payload in
+/// bytes (identical on every rank for the operations they govern, so all
+/// ranks resolve the same schedule).
+struct CollectivePolicy {
+  CollectiveAlgo allreduce = CollectiveAlgo::kAuto;  ///< kLinear | kRecursiveDoubling | kRabenseifner
+  CollectiveAlgo allgather = CollectiveAlgo::kAuto;  ///< kLinear | kBruck | kRing
+  CollectiveAlgo gather = CollectiveAlgo::kAuto;     ///< kLinear | kBinomial
+  CollectiveAlgo scatter = CollectiveAlgo::kAuto;    ///< kLinear | kBinomial
+  CollectiveAlgo alltoall = CollectiveAlgo::kAuto;   ///< kLinear | kPairwise
+
+  /// allreduce payloads >= this many bytes use Rabenseifner
+  /// (reduce-scatter + allgather, 2n bytes per rank); smaller ones use
+  /// recursive doubling (log2(p) rounds of the full vector).
+  std::size_t allreduce_long_bytes = 4096;
+  /// allgather per-rank contributions >= this many bytes use the ring;
+  /// smaller ones use Bruck's log-round schedule.
+  std::size_t allgather_long_bytes = 4096;
+};
 
 struct CommConfig {
   /// Default deadline for blocking recv/probe; zero means wait forever
@@ -25,6 +70,10 @@ struct CommConfig {
   /// Watchdog sampling period. A deadlock must be stable across two
   /// consecutive samples before it is declared (rules out races).
   std::chrono::milliseconds watchdog_poll{250};
+
+  /// Collective algorithm selection (forced schedules and the size
+  /// thresholds kAuto resolves through). Inherited by split() children.
+  CollectivePolicy coll;
 
   /// Deterministic fault injection applied inside Context::deliver; null
   /// means no injection. Not inherited by split() children: rules address

@@ -48,6 +48,17 @@ void Mailbox::push(Envelope env) {
   cv_.notify_all();
 }
 
+void Mailbox::requeue(Envelope env) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queued_bytes_ += env.payload.size();
+    highwater_bytes_ = std::max(highwater_bytes_, queued_bytes_);
+    queue_.push_front(std::move(env));
+    highwater_messages_ = std::max(highwater_messages_, queue_.size());
+  }
+  cv_.notify_all();
+}
+
 std::deque<Envelope>::iterator Mailbox::find_locked(int source, int tag) {
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     if (matches(*it, source, tag)) return it;

@@ -50,6 +50,12 @@ class Mailbox {
   /// Enqueues a message and wakes any waiting receiver.
   void push(Envelope env);
 
+  /// Puts a message back at the *front* of the queue (used when a
+  /// PendingRecv handle dies still owning a captured message). Front
+  /// placement restores the arrival order the capture removed it from, so
+  /// non-overtaking delivery per (source, dest) is preserved.
+  void requeue(Envelope env);
+
   /// Blocks until a message matching (source, tag) is available, then
   /// removes and returns it. `source`/`tag` may be kAnySource/kAnyTag.
   /// Throws CommError (abort), RankKilledError (owner killed), or

@@ -17,8 +17,22 @@ inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
 /// User tags live in [0, kMaxUserTag); larger values are reserved for
-/// internal collective traffic.
+/// framework-internal traffic.
 inline constexpr int kMaxUserTag = 1 << 28;
+
+/// Layout of the reserved space above kMaxUserTag:
+///  - [kMaxUserTag, kMaxUserTag + kCollTagSpan): collective sequencing
+///    tags (per-instance sequence number x per-phase slot, see
+///    Communicator::coll_tag);
+///  - [kInternalP2PBase, ...): framework point-to-point traffic (halo
+///    exchanges and similar subsystem protocols) that must never collide
+///    with user tags *or* with collective sequencing.
+inline constexpr int kCollTagSpan = 1 << 30;
+inline constexpr int kInternalP2PBase = kMaxUserTag + kCollTagSpan;
+
+/// Reserved internal tag for ODIN's one-deep halo exchange
+/// (odin::shifted_diff / shift).
+inline constexpr int kHaloTag = kInternalP2PBase + 0;
 
 /// Delivery metadata returned by recv/probe (MPI_Status analogue).
 struct Status {

@@ -37,6 +37,19 @@ struct CommStats {
   // observability for unbounded eager-send buffering (aggregated with max,
   // not sum).
   std::uint64_t mailbox_highwater_bytes = 0;
+  // Messages captured by a PendingRecv handle and re-queued because the
+  // handle was destroyed before wait() consumed them.
+  std::uint64_t pending_requeued = 0;
+  // Collective schedule selection: how many collectives ran each
+  // algorithm (bucketed here instead of the metrics registry so the hot
+  // path stays lock-free; the obs bridge folds them into gauges).
+  std::uint64_t algo_linear = 0;
+  std::uint64_t algo_recursive_doubling = 0;
+  std::uint64_t algo_rabenseifner = 0;
+  std::uint64_t algo_ring = 0;
+  std::uint64_t algo_bruck = 0;
+  std::uint64_t algo_binomial = 0;
+  std::uint64_t algo_pairwise = 0;
 
   std::uint64_t total_messages_sent() const {
     return p2p_messages_sent + coll_messages_sent;
@@ -63,6 +76,14 @@ struct CommStats {
     corruption_detected += o.corruption_detected;
     mailbox_highwater_bytes =
         std::max(mailbox_highwater_bytes, o.mailbox_highwater_bytes);
+    pending_requeued += o.pending_requeued;
+    algo_linear += o.algo_linear;
+    algo_recursive_doubling += o.algo_recursive_doubling;
+    algo_rabenseifner += o.algo_rabenseifner;
+    algo_ring += o.algo_ring;
+    algo_bruck += o.algo_bruck;
+    algo_binomial += o.algo_binomial;
+    algo_pairwise += o.algo_pairwise;
     return *this;
   }
 

@@ -44,6 +44,17 @@ inline void import_comm_stats(MetricsRegistry& reg,
           static_cast<double>(s.corruption_detected));
   reg.set_max(prefix + ".mailbox_highwater_bytes",
               static_cast<double>(s.mailbox_highwater_bytes));
+  reg.add(prefix + ".pending_requeued",
+          static_cast<double>(s.pending_requeued));
+  reg.add(prefix + ".algo_linear", static_cast<double>(s.algo_linear));
+  reg.add(prefix + ".algo_recursive_doubling",
+          static_cast<double>(s.algo_recursive_doubling));
+  reg.add(prefix + ".algo_rabenseifner",
+          static_cast<double>(s.algo_rabenseifner));
+  reg.add(prefix + ".algo_ring", static_cast<double>(s.algo_ring));
+  reg.add(prefix + ".algo_bruck", static_cast<double>(s.algo_bruck));
+  reg.add(prefix + ".algo_binomial", static_cast<double>(s.algo_binomial));
+  reg.add(prefix + ".algo_pairwise", static_cast<double>(s.algo_pairwise));
 }
 
 /// Folds injected-fault totals into `reg` under `<prefix>.*` (counters).

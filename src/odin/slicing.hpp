@@ -44,12 +44,14 @@ DistArray<T> slice(const DistArray<T>& a, const std::vector<Slice>& slices) {
   auto& comm = a.dist().comm();
   Distribution out_dist = Distribution::block(comm, out_shape, dist_axis);
 
-  struct Entry {
-    index_t local_at_target;
-    T value;
-  };
+  // Ship target indices and values as two flat per-destination buffers
+  // rather than an Entry{index_t, T} struct: the struct carries padding
+  // whenever alignof(T) < alignof(index_t), and padding bytes go over the
+  // wire uninitialized (nondeterministic checksums under MSan) and inflate
+  // the payload.
   const int p = comm.size();
-  std::vector<std::vector<Entry>> outgoing(static_cast<std::size_t>(p));
+  std::vector<std::vector<index_t>> out_indices(static_cast<std::size_t>(p));
+  std::vector<std::vector<T>> out_values(static_cast<std::size_t>(p));
   std::vector<index_t> out_idx(static_cast<std::size_t>(a.ndim()), 0);
   for (index_t l = 0; l < a.local_size(); ++l) {
     const auto gidx = a.dist().global_of_local(l);
@@ -70,16 +72,22 @@ DistArray<T> slice(const DistArray<T>& a, const std::vector<Slice>& slices) {
     }
     if (!inside) continue;
     const auto [owner, lidx] = out_dist.owner_of(out_idx);
-    outgoing[static_cast<std::size_t>(owner)].push_back(
-        Entry{lidx, a.local_view()[static_cast<std::size_t>(l)]});
+    out_indices[static_cast<std::size_t>(owner)].push_back(lidx);
+    out_values[static_cast<std::size_t>(owner)].push_back(
+        a.local_view()[static_cast<std::size_t>(l)]);
   }
-  auto incoming = comm.alltoallv(outgoing);
+  auto in_indices = comm.alltoallv(out_indices);
+  auto in_values = comm.alltoallv(out_values);
 
   DistArray<T> out(out_dist);
   auto view = out.local_view();
-  for (const auto& part : incoming) {
-    for (const auto& e : part) {
-      view[static_cast<std::size_t>(e.local_at_target)] = e.value;
+  for (int src = 0; src < p; ++src) {
+    const auto& idx = in_indices[static_cast<std::size_t>(src)];
+    const auto& val = in_values[static_cast<std::size_t>(src)];
+    require<ShapeError>(idx.size() == val.size(),
+                        "slice: index/value shuffle size mismatch");
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      view[static_cast<std::size_t>(idx[i])] = val[i];
     }
   }
   return out;
@@ -127,14 +135,18 @@ DistArray<T> shifted_diff(const DistArray<T>& a) {
     }
   }
 
-  constexpr int kHaloTag = 7001;
+  // The halo exchange runs on the reserved internal tag (comm::kHaloTag):
+  // a user tag here would collide with unrelated application traffic on
+  // the same tag and silently cross-match.
   if (my_count > 0 && prev_with_data >= 0) {
-    comm.send_value(a.local_view()[0], prev_with_data, kHaloTag);
+    comm.send_value_internal(a.local_view()[0], prev_with_data,
+                             comm::kHaloTag);
   }
   T halo{};
   bool have_halo = false;
   if (my_count > 0 && next_with_data >= 0) {
-    halo = comm.template recv_value<T>(next_with_data, kHaloTag);
+    halo = comm.template recv_value_internal<T>(next_with_data,
+                                                comm::kHaloTag);
     have_halo = true;
   }
 

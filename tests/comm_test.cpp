@@ -245,6 +245,54 @@ TEST(CommP2P, PendingRecvReadyAfterArrival) {
   });
 }
 
+// Regression (ISSUE 3): a message captured by ready() used to be silently
+// dropped when the handle was destroyed before wait() — the destructor
+// must re-queue it so a later matching receive still observes it.
+TEST(CommP2P, PendingRecvDestroyedAfterReadyRequeuesMessage) {
+  pc::run(2, [](pc::Communicator& comm) {
+    if (comm.rank() == 1) {
+      (void)comm.recv_value<int>(0, 2);  // ack: payload is queued
+      {
+        pc::PendingRecv req = comm.irecv(0, 1);
+        ASSERT_TRUE(req.ready());  // captures the message into the handle
+        // Destroyed without wait(): the capture must go back to the
+        // mailbox, not vanish.
+      }
+      EXPECT_EQ(comm.stats().pending_requeued, 1u);
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 41);
+      // FIFO restored: the second message on the same tag follows.
+      EXPECT_EQ(comm.recv_value<int>(0, 1), 42);
+    } else {
+      comm.send_value(41, 1, 1);
+      comm.send_value(42, 1, 1);
+      comm.send_value(0, 1, 2);
+    }
+  });
+}
+
+// Regression (ISSUE 3): receive stats are counted when ready() captures
+// the message (and backed out on re-queue), never twice.
+TEST(CommStats, PendingRecvCountsAtCaptureExactlyOnce) {
+  pc::run(2, [](pc::Communicator& comm) {
+    if (comm.rank() == 1) {
+      (void)comm.recv_value<int>(0, 2);  // ack: payload is queued
+      const auto before = comm.stats().p2p_messages_received;
+      pc::PendingRecv req = comm.irecv(0, 1);
+      ASSERT_TRUE(req.ready());
+      EXPECT_EQ(comm.stats().p2p_messages_received, before + 1)
+          << "stats must be counted at capture time";
+      pc::Envelope env = req.wait();
+      EXPECT_EQ(pc::PendingRecv::decode<int>(env)[0], 7);
+      EXPECT_EQ(comm.stats().p2p_messages_received, before + 1)
+          << "wait() after capture must not double-count";
+      EXPECT_EQ(comm.stats().pending_requeued, 0u);
+    } else {
+      comm.send_value(7, 1, 1);
+      comm.send_value(0, 1, 2);
+    }
+  });
+}
+
 TEST(CommStats, CountersTrackTraffic) {
   pc::CommStats total = pc::run_with_stats(2, [](pc::Communicator& comm) {
     if (comm.rank() == 0) {

@@ -222,8 +222,9 @@ TEST_F(ObsTest, RunnerFoldsCommStatsIntoGlobalRegistry) {
     comm.barrier();
     (void)comm.allreduce_value(comm.rank(), std::plus<int>{});
   });
-  // barrier (1) + allreduce (reduce + broadcast = 2) on each of 3 ranks.
-  EXPECT_DOUBLE_EQ(reg.value("comm.collectives"), 9.0);
+  // barrier (1) + allreduce (one collective — recursive doubling, no
+  // reduce+broadcast split) on each of 3 ranks.
+  EXPECT_DOUBLE_EQ(reg.value("comm.collectives"), 6.0);
   EXPECT_GT(reg.value("comm.coll_messages_sent"), 0.0);
   EXPECT_TRUE(reg.has("comm.mailbox_highwater_messages"));
 }
@@ -299,7 +300,7 @@ TEST_F(ObsTest, BinaryExprValueTypeUsesCommonType) {
 
 // ---- regression: zip kAuto measures once, no recursion re-entry -----------
 
-TEST_F(ObsTest, ZipAutoUsesThreeCollectives) {
+TEST_F(ObsTest, ZipAutoUsesTwoCollectives) {
   pc::run(4, [](pc::Communicator& comm) {
     const index_t n = 64;
     auto block = od::Distribution::block(comm, od::Shape({n}), 0);
@@ -309,10 +310,11 @@ TEST_F(ObsTest, ZipAutoUsesThreeCollectives) {
 
     comm.stats().reset();
     auto z = x.zip(y, std::plus<double>{}, od::ConformStrategy::kAuto);
-    // One fused cost pass = a single two-element allreduce (reduce +
-    // broadcast = 2 collective entries) + the redistribution alltoallv (1).
-    // The old path spent 5: two scalar allreduces plus the alltoallv.
-    EXPECT_EQ(comm.stats().collectives, 3u)
+    // One fused cost pass = a single two-element allreduce (one collective
+    // now that allreduce runs recursive doubling, not reduce+broadcast) +
+    // the redistribution alltoallv (1). The old path spent more: two
+    // scalar allreduces plus the alltoallv.
+    EXPECT_EQ(comm.stats().collectives, 2u)
         << "kAuto zip must measure both directions with one allreduce and "
            "redistribute directly";
 

@@ -142,6 +142,63 @@ TEST_P(SliceSweep, TwoDimensionalSlicing) {
   });
 }
 
+// Regression (ISSUE 3): shifted_diff used to run its halo exchange on the
+// hard-coded *user* tag 7001, cross-matching with any application message
+// on that tag. User traffic on 7001 in flight during the exchange must
+// survive untouched, and the diff must still be right.
+TEST(Slicing, ShiftedDiffHaloDoesNotCollideWithUserTag7001) {
+  pc::run(2, [](pc::Communicator& comm) {
+    const index_t n = 10;
+    auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+    auto x = Arr::arange(dist, 0.0, 3.0);
+
+    // Rank 1 sends an unrelated user message on tag 7001 to rank 0 *before*
+    // the halo exchange. Pre-fix, rank 0's halo receive (source 1, tag
+    // 7001) matched this message instead of the halo value.
+    if (comm.rank() == 1) comm.send_value(99.5, 0, 7001);
+    auto dy = od::shifted_diff(x);
+    auto full = dy.gather();
+    ASSERT_EQ(full.size(), static_cast<std::size_t>(n - 1));
+    for (double d : full) EXPECT_DOUBLE_EQ(d, 3.0);
+    if (comm.rank() == 0) {
+      EXPECT_DOUBLE_EQ(comm.recv_value<double>(1, 7001), 99.5)
+          << "user payload on tag 7001 was consumed by the halo exchange";
+    }
+  });
+}
+
+// Regression (ISSUE 3): slice() used to ship Entry{index_t, T} structs, so
+// a float element cost 16 wire bytes (8 index + 4 value + 4 padding, the
+// padding uninitialized). Packed flat buffers cost 12.
+TEST(Slicing, SlicePacksIndicesAndValuesWithoutPadding) {
+  pc::run(2, [](pc::Communicator& comm) {
+    const index_t n = 64;
+    auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+    auto x = od::DistArray<float>::arange(dist, 0.0f, 1.0f);
+    comm.barrier();
+    comm.stats().reset();
+    // Reversal moves every element to the other rank: 32 cross-rank
+    // elements in each direction.
+    auto rev = od::slice1d(
+        x, Slice::range(od::Slice::kNone, od::Slice::kNone, -1));
+    comm.barrier();
+    if (comm.rank() == 0) {
+      const auto total = comm.aggregate_stats();
+      // 2 x 32 elements x (8 B index + 4 B value) = 768 payload bytes;
+      // the pre-fix Entry encoding shipped 2 x 32 x 16 = 1024.
+      EXPECT_LE(total.coll_bytes_sent, 1000u)
+          << "slice() is shipping padded structs again";
+      EXPECT_GE(total.coll_bytes_sent, 768u);
+    }
+    auto full = rev.gather();
+    ASSERT_EQ(full.size(), static_cast<std::size_t>(n));
+    for (index_t g = 0; g < n; ++g) {
+      EXPECT_EQ(full[static_cast<std::size_t>(g)],
+                static_cast<float>(n - 1 - g));
+    }
+  });
+}
+
 TEST(Slicing, WrongSliceCountThrows) {
   pc::run(1, [](pc::Communicator& comm) {
     auto dist = od::Distribution::block(comm, od::Shape({4, 4}), 0);

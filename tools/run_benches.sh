@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Builds the benchmark suite in Release, runs every bench_* binary with
 # --benchmark_format=json, and merges the results plus a live metrics
-# snapshot into BENCH_PR2.json at the repo root (trace in trace_pr2.json).
+# snapshot into BENCH_PR3.json at the repo root (trace in trace_pr3.json).
 #
 # Extra google-benchmark flags can be passed through BENCH_FLAGS, e.g.
 #   BENCH_FLAGS=--benchmark_min_time=0.05s tools/run_benches.sh
@@ -9,8 +9,8 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-bench}"
-OUT="${OUT_FILE:-$ROOT/BENCH_PR2.json}"
-TRACE="${TRACE_FILE:-$ROOT/trace_pr2.json}"
+OUT="${OUT_FILE:-$ROOT/BENCH_PR3.json}"
+TRACE="${TRACE_FILE:-$ROOT/trace_pr3.json}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j "$(nproc)"
