@@ -1,0 +1,162 @@
+// Intra-rank thread scaling of the pool-backed kernels: binary ufunc
+// application, fused expression evaluation, and CrsMatrix SpMV at 1/2/4/8
+// pool threads (CommConfig::threads), each at a small size below one
+// grain (4096 elements for the elementwise kernels, 1024 rows for SpMV —
+// exercising the serial fallback) and a large one (~1M).
+//
+// Interpretation: on a multi-core host the large sizes should scale with
+// the thread count; on a single-core host (like the reference container)
+// wall-clock is flat and the machine-independent pool counters
+// (pool.regions / pool.tasks / pool.steals) carry the shape claim. The
+// `reduce_bit_identical` counter on BM_ReduceDeterminism records that the
+// deterministic parallel_reduce returned bit-identical sums across thread
+// counts {1, 2, 4, 7} — the pool's core correctness invariant.
+#include <benchmark/benchmark.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+
+#include "comm/runner.hpp"
+#include "odin/expr.hpp"
+#include "odin/ufunc.hpp"
+#include "tpetra/crs_matrix.hpp"
+
+namespace pc = pyhpc::comm;
+namespace od = pyhpc::odin;
+namespace tp = pyhpc::tpetra;
+
+using Arr = od::DistArray<double>;
+using MapT = tp::Map<>;
+using MatD = tp::CrsMatrix<double>;
+using VecD = tp::Vector<double>;
+using LO = std::int32_t;
+using GO = std::int64_t;
+
+namespace {
+
+pc::CommConfig threaded(int threads) {
+  pc::CommConfig config;
+  config.threads = threads;
+  return config;
+}
+
+void BM_UfuncBinaryThreads(benchmark::State& state) {
+  const od::index_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  pc::run(1, threaded(threads), [&state, n, threads](pc::Communicator& comm) {
+    auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+    auto x = Arr::random(dist, 1);
+    auto y = Arr::random(dist, 2);
+    for (auto _ : state) {
+      auto r = od::hypot(x, y);
+      benchmark::DoNotOptimize(r.local_view().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    state.counters["threads"] = threads;
+  });
+}
+BENCHMARK(BM_UfuncBinaryThreads)
+    ->Args({4096, 1})
+    ->Args({4096, 4})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 2})
+    ->Args({1 << 20, 4})
+    ->Args({1 << 20, 8});
+
+void BM_FusedExprThreads(benchmark::State& state) {
+  const od::index_t n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  pc::run(1, threaded(threads), [&state, n, threads](pc::Communicator& comm) {
+    auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+    auto x = Arr::random(dist, 1);
+    auto y = Arr::random(dist, 2);
+    for (auto _ : state) {
+      auto r = od::eval(od::lazy(x) * 2.0 + od::lazy(y) * 3.0 + 1.0);
+      benchmark::DoNotOptimize(r.local_view().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    state.counters["threads"] = threads;
+  });
+}
+BENCHMARK(BM_FusedExprThreads)
+    ->Args({4096, 1})
+    ->Args({4096, 4})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 2})
+    ->Args({1 << 20, 4})
+    ->Args({1 << 20, 8});
+
+void BM_SpmvThreads(benchmark::State& state) {
+  const GO n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  pc::run(1, threaded(threads), [&state, n, threads](pc::Communicator& comm) {
+    auto map = MapT::uniform(comm, n);
+    MatD a(map);
+    for (LO i = 0; i < map.num_local(); ++i) {
+      const GO g = map.local_to_global(i);
+      std::vector<GO> cols;
+      std::vector<double> vals;
+      if (g > 0) {
+        cols.push_back(g - 1);
+        vals.push_back(-1.0);
+      }
+      cols.push_back(g);
+      vals.push_back(2.0);
+      if (g + 1 < n) {
+        cols.push_back(g + 1);
+        vals.push_back(-1.0);
+      }
+      a.insert_global_values(g, cols, vals);
+    }
+    a.fill_complete();
+    VecD x(map, 1.0), y(map);
+    for (auto _ : state) {
+      a.apply(x, y);
+      benchmark::DoNotOptimize(y.local_view().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    state.counters["threads"] = threads;
+  });
+}
+BENCHMARK(BM_SpmvThreads)
+    ->Args({1024, 1})
+    ->Args({1024, 4})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 2})
+    ->Args({1 << 20, 4})
+    ->Args({1 << 20, 8});
+
+// Determinism witness: DistArray::sum at thread counts {1, 2, 4, 7} must
+// return bit-identical doubles. The result lands in the JSON report as the
+// reduce_bit_identical counter (1 = held) and on stderr for the bench log.
+void BM_ReduceDeterminism(benchmark::State& state) {
+  const od::index_t n = 1 << 20;
+  bool identical = true;
+  std::uint64_t reference = 0;
+  for (auto _ : state) {
+    for (int threads : {1, 2, 4, 7}) {
+      pc::run(1, threaded(threads),
+              [&, threads](pc::Communicator& comm) {
+                auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+                auto x = Arr::random(dist, 42);
+                const auto bits = std::bit_cast<std::uint64_t>(x.sum());
+                if (threads == 1) {
+                  reference = bits;
+                } else if (bits != reference) {
+                  identical = false;
+                }
+              });
+    }
+  }
+  state.counters["reduce_bit_identical"] = identical ? 1.0 : 0.0;
+  std::fprintf(stderr,
+               "BM_ReduceDeterminism: parallel_reduce sum bit-identical "
+               "across threads {1,2,4,7}: %s\n",
+               identical ? "yes" : "NO");
+}
+BENCHMARK(BM_ReduceDeterminism)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -75,6 +75,13 @@ struct CommConfig {
   /// thresholds kAuto resolves through). Inherited by split() children.
   CollectivePolicy coll;
 
+  /// Intra-rank parallelism: lanes of each rank thread's util::TaskPool
+  /// (the work-stealing pool under ufuncs, fused expressions, reductions,
+  /// SpMV, and relaxation sweeps). 0 (default) defers to the PYHPC_THREADS
+  /// environment variable, which itself defaults to 1 (serial). comm::run
+  /// installs this per rank thread via TaskPool::set_thread_default.
+  int threads = 0;
+
   /// Deterministic fault injection applied inside Context::deliver; null
   /// means no injection. Not inherited by split() children: rules address
   /// ranks of the context they are installed in.

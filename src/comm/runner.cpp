@@ -13,6 +13,7 @@
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
+#include "util/task_pool.hpp"
 
 namespace pyhpc::comm {
 
@@ -141,6 +142,10 @@ CommStats run_impl(int nranks, const CommConfig& config,
     // Tag this thread's trace events with its rank index (the trace `tid`).
     // Rank 0 runs on the calling thread, whose tag is restored below.
     obs::set_thread_rank(rank);
+    // Size this rank's intra-rank task pool (0 defers to PYHPC_THREADS).
+    // Saved/restored because rank 0 shares the calling thread.
+    const int saved_threads = util::TaskPool::thread_default();
+    util::TaskPool::set_thread_default(config.threads);
     try {
       Communicator comm(ctx, rank);
       fn(comm);
@@ -161,6 +166,7 @@ CommStats run_impl(int nranks, const CommConfig& config,
       }
       ctx->abort();
     }
+    util::TaskPool::set_thread_default(saved_threads);
     ctx->mark_done(rank);
   };
 

@@ -1,11 +1,13 @@
 // Importers that fold the pre-existing instrumentation stores into the
 // unified MetricsRegistry.
 //
-// Header-only on purpose: the obs core library depends only on pyhpc::util,
-// so it cannot (and should not) link against comm or teuchos. Each layer
-// that owns a stat store includes this header and folds its own numbers in
-// — unused inline functions emit no symbols, so including it never forces
-// a link dependency the caller doesn't already have.
+// Header-only on purpose: the obs core library sits at the bottom of the
+// stack (it links nothing but Threads), so it cannot (and should not) link
+// against comm or teuchos. Each layer that owns a stat store includes this
+// header and folds its own numbers in — unused inline functions emit no
+// symbols, so including it never forces a link dependency the caller
+// doesn't already have. (util::TaskPool folds its own pool.* metrics
+// directly — util links obs, so it needs no importer here.)
 #pragma once
 
 #include <string>

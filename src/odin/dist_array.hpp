@@ -18,6 +18,7 @@
 #include "odin/distribution.hpp"
 #include "odin/shape.hpp"
 #include "util/random.hpp"
+#include "util/task_pool.hpp"
 
 namespace pyhpc::odin {
 
@@ -136,17 +137,32 @@ class DistArray {
 
   // ---- elementwise (local, no communication when conformable) -----------
 
-  /// In-place transform of every local element.
+  /// In-place transform of every local element. Threaded over the rank's
+  /// task pool above one grain of elements (serial below it).
   template <class F>
   void transform(F&& f) {
-    for (auto& x : data_) x = f(x);
+    T* d = data_.data();
+    util::parallel_for(0, static_cast<std::int64_t>(data_.size()),
+                       util::kDefaultGrain,
+                       [&f, d](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i) d[i] = f(d[i]);
+                       });
   }
 
-  /// New array g(this) with the same distribution.
+  /// New array g(this) with the same distribution (unary ufunc kernel;
+  /// threaded like transform).
   template <class F>
   DistArray map(F&& f) const {
     DistArray out(*dist_);
-    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
+    const T* src = data_.data();
+    T* dst = out.data_.data();
+    util::parallel_for(0, static_cast<std::int64_t>(data_.size()),
+                       util::kDefaultGrain,
+                       [&f, src, dst](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i) {
+                           dst[i] = f(src[i]);
+                         }
+                       });
     return out;
   }
 
@@ -158,10 +174,29 @@ class DistArray {
 
   // ---- reductions (collective) ------------------------------------------
 
+  /// Local fold then allreduce. The local fold runs as a deterministic
+  /// chunked reduction: chunk boundaries depend only on the grain (never
+  /// the thread count), each chunk folds left-to-right, and partials merge
+  /// in a fixed pairwise tree — so the result is bit-identical for any
+  /// thread count, and equal to the plain serial fold whenever the local
+  /// part fits in one chunk.
   template <class F>
   T reduce(T init, F&& op) const {
+    const T* d = data_.data();
+    const auto n = static_cast<std::int64_t>(data_.size());
     T acc = init;
-    for (const auto& x : data_) acc = op(acc, x);
+    if (n > 0) {
+      acc = util::parallel_reduce(
+          0, n, util::kDefaultGrain, init,
+          [&op, &init, d](std::int64_t lo, std::int64_t hi) {
+            T a = lo == 0 ? init : d[lo];
+            for (std::int64_t i = lo == 0 ? lo : lo + 1; i < hi; ++i) {
+              a = op(a, d[i]);
+            }
+            return a;
+          },
+          [&op](T a, T b) { return op(std::move(a), std::move(b)); });
+    }
     return dist_->comm().allreduce_value(acc, op);
   }
 
@@ -176,16 +211,38 @@ class DistArray {
   // some other rank holds real data.
   T min() const {
     require<NumericalError>(size() != 0, "min: empty array");
-    T acc = data_.empty() ? std::numeric_limits<T>::max() : data_.front();
-    for (const auto& x : data_) acc = std::min(acc, x);
+    const T* d = data_.data();
+    const auto n = static_cast<std::int64_t>(data_.size());
+    T acc = std::numeric_limits<T>::max();
+    if (n > 0) {
+      acc = util::parallel_reduce(
+          0, n, util::kDefaultGrain, acc,
+          [d](std::int64_t lo, std::int64_t hi) {
+            T a = d[lo];
+            for (std::int64_t i = lo + 1; i < hi; ++i) a = std::min(a, d[i]);
+            return a;
+          },
+          [](T a, T b) { return std::min(a, b); });
+    }
     return dist_->comm().allreduce_value(
         acc, [](T a, T b) { return std::min(a, b); });
   }
 
   T max() const {
     require<NumericalError>(size() != 0, "max: empty array");
-    T acc = data_.empty() ? std::numeric_limits<T>::lowest() : data_.front();
-    for (const auto& x : data_) acc = std::max(acc, x);
+    const T* d = data_.data();
+    const auto n = static_cast<std::int64_t>(data_.size());
+    T acc = std::numeric_limits<T>::lowest();
+    if (n > 0) {
+      acc = util::parallel_reduce(
+          0, n, util::kDefaultGrain, acc,
+          [d](std::int64_t lo, std::int64_t hi) {
+            T a = d[lo];
+            for (std::int64_t i = lo + 1; i < hi; ++i) a = std::max(a, d[i]);
+            return a;
+          },
+          [](T a, T b) { return std::max(a, b); });
+    }
     return dist_->comm().allreduce_value(
         acc, [](T a, T b) { return std::max(a, b); });
   }
@@ -196,10 +253,17 @@ class DistArray {
   }
 
   double norm2() const {
-    double acc = 0.0;
-    for (const auto& x : data_) {
-      acc += static_cast<double>(x) * static_cast<double>(x);
-    }
+    const T* d = data_.data();
+    const double acc = util::parallel_reduce(
+        0, static_cast<std::int64_t>(data_.size()), util::kDefaultGrain, 0.0,
+        [d](std::int64_t lo, std::int64_t hi) {
+          double a = 0.0;
+          for (std::int64_t i = lo; i < hi; ++i) {
+            a += static_cast<double>(d[i]) * static_cast<double>(d[i]);
+          }
+          return a;
+        },
+        [](double a, double b) { return a + b; });
     return std::sqrt(dist_->comm().allreduce_value(acc, std::plus<double>{}));
   }
 
@@ -260,9 +324,16 @@ class DistArray {
   template <class F>
   DistArray zip_local(const DistArray& other, F&& f) const {
     DistArray out(*dist_);
-    for (std::size_t i = 0; i < data_.size(); ++i) {
-      out.data_[i] = f(data_[i], other.data_[i]);
-    }
+    const T* a = data_.data();
+    const T* b = other.data_.data();
+    T* dst = out.data_.data();
+    util::parallel_for(0, static_cast<std::int64_t>(data_.size()),
+                       util::kDefaultGrain,
+                       [&f, a, b, dst](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i) {
+                           dst[i] = f(a[i], b[i]);
+                         }
+                       });
     return out;
   }
 

@@ -189,8 +189,9 @@ auto operator/(typename A::value_type s, A a) {
 
 }  // namespace detail
 
-/// Evaluates the whole tree in one fused pass over the local elements.
-/// Collective only in that every rank must call it (no traffic).
+/// Evaluates the whole tree in one fused pass over the local elements —
+/// threaded over the rank's task pool when the local part exceeds one
+/// grain. Collective only in that every rank must call it (no traffic).
 template <class E, class = std::enable_if_t<detail::is_expr_v<E>>>
 DistArray<typename E::value_type> eval(const E& expr) {
   using T = typename E::value_type;
@@ -201,12 +202,116 @@ DistArray<typename E::value_type> eval(const E& expr) {
                       "eval: operands are not conformable; redistribute "
                       "before fusing");
   DistArray<T> out(*dist);
-  auto view = out.local_view();
-  const index_t n = static_cast<index_t>(view.size());
-  for (index_t i = 0; i < n; ++i) {
-    view[static_cast<std::size_t>(i)] = expr.at(i);
-  }
+  T* dst = out.local_view().data();
+  util::parallel_for(
+      0, static_cast<std::int64_t>(out.local_view().size()),
+      util::kDefaultGrain, [&expr, dst](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          dst[i] = expr.at(static_cast<index_t>(i));
+        }
+      });
   return out;
+}
+
+// ---- fused reductions ------------------------------------------------------
+//
+// Reduce an expression tree without materializing it: one fused pass per
+// chunk, deterministic grain-based chunking (bit-identical across thread
+// counts, see util::TaskPool), then one allreduce. Same empty-array
+// semantics as the DistArray reductions: min/max/mean on a globally empty
+// expression throw NumericalError.
+
+namespace detail {
+
+/// The expression's anchoring distribution, validated exactly like eval().
+template <class E>
+const Distribution& reduce_dist(const E& expr, const char* what) {
+  const Distribution* dist = expr.dist();
+  require<ShapeError>(dist != nullptr,
+                      util::cat(what,
+                                ": expression references no array (all "
+                                "scalars)"));
+  require<ShapeError>(expr.conformable_with(*dist),
+                      util::cat(what,
+                                ": operands are not conformable; "
+                                "redistribute before fusing"));
+  return *dist;
+}
+
+}  // namespace detail
+
+template <class E, class = std::enable_if_t<detail::is_expr_v<E>>>
+typename E::value_type sum(const E& expr) {
+  using T = typename E::value_type;
+  const Distribution& dist = detail::reduce_dist(expr, "sum");
+  const T acc = util::parallel_reduce(
+      0, static_cast<std::int64_t>(dist.local_count()), util::kDefaultGrain,
+      T{0},
+      [&expr](std::int64_t lo, std::int64_t hi) {
+        T a{0};
+        for (std::int64_t i = lo; i < hi; ++i) {
+          a += expr.at(static_cast<index_t>(i));
+        }
+        return a;
+      },
+      [](T a, T b) { return a + b; });
+  return dist.comm().allreduce_value(acc, std::plus<T>{});
+}
+
+template <class E, class = std::enable_if_t<detail::is_expr_v<E>>>
+typename E::value_type min(const E& expr) {
+  using T = typename E::value_type;
+  const Distribution& dist = detail::reduce_dist(expr, "min");
+  require<NumericalError>(dist.global_shape().count() != 0,
+                          "min: empty expression");
+  const std::int64_t n = static_cast<std::int64_t>(dist.local_count());
+  T acc = std::numeric_limits<T>::max();  // locally-empty rank: never wins
+  if (n > 0) {
+    acc = util::parallel_reduce(
+        0, n, util::kDefaultGrain, acc,
+        [&expr](std::int64_t lo, std::int64_t hi) {
+          T a = expr.at(static_cast<index_t>(lo));
+          for (std::int64_t i = lo + 1; i < hi; ++i) {
+            a = std::min(a, expr.at(static_cast<index_t>(i)));
+          }
+          return a;
+        },
+        [](T a, T b) { return std::min(a, b); });
+  }
+  return dist.comm().allreduce_value(acc,
+                                     [](T a, T b) { return std::min(a, b); });
+}
+
+template <class E, class = std::enable_if_t<detail::is_expr_v<E>>>
+typename E::value_type max(const E& expr) {
+  using T = typename E::value_type;
+  const Distribution& dist = detail::reduce_dist(expr, "max");
+  require<NumericalError>(dist.global_shape().count() != 0,
+                          "max: empty expression");
+  const std::int64_t n = static_cast<std::int64_t>(dist.local_count());
+  T acc = std::numeric_limits<T>::lowest();
+  if (n > 0) {
+    acc = util::parallel_reduce(
+        0, n, util::kDefaultGrain, acc,
+        [&expr](std::int64_t lo, std::int64_t hi) {
+          T a = expr.at(static_cast<index_t>(lo));
+          for (std::int64_t i = lo + 1; i < hi; ++i) {
+            a = std::max(a, expr.at(static_cast<index_t>(i)));
+          }
+          return a;
+        },
+        [](T a, T b) { return std::max(a, b); });
+  }
+  return dist.comm().allreduce_value(acc,
+                                     [](T a, T b) { return std::max(a, b); });
+}
+
+template <class E, class = std::enable_if_t<detail::is_expr_v<E>>>
+double mean(const E& expr) {
+  const Distribution& dist = detail::reduce_dist(expr, "mean");
+  const index_t count = dist.global_shape().count();
+  require<NumericalError>(count != 0, "mean: empty expression");
+  return static_cast<double>(sum(expr)) / static_cast<double>(count);
 }
 
 }  // namespace pyhpc::odin

@@ -37,25 +37,44 @@ DistArray<T> reduce_axis(const DistArray<T>& a, int axis, Op op, T init) {
   Distribution out_dist = Distribution::block(comm, out_shape, 0);
 
   // Local fold into per-output partials (keyed by output linear index).
+  // Threaded as a map-merging reduction: each chunk of local indices folds
+  // into its own map, maps merge pairwise with `op`. op is associative and
+  // commutative by contract and `init` is its identity, so the merged
+  // values are independent of the chunking.
   const auto out_strides = out_shape.strides();
-  std::unordered_map<index_t, T> partials;
-  for (index_t l = 0; l < a.local_size(); ++l) {
-    const auto gidx = a.dist().global_of_local(l);
-    index_t out_linear = 0;
-    int k = 0;
-    if (a.ndim() == 1) {
-      out_linear = 0;  // full reduction of a 1D array -> single cell
-    } else {
-      for (int d = 0; d < a.ndim(); ++d) {
-        if (d == axis) continue;
-        out_linear += gidx[static_cast<std::size_t>(d)] *
-                      out_strides[static_cast<std::size_t>(k)];
-        ++k;
-      }
-    }
-    auto [it, inserted] = partials.emplace(out_linear, init);
-    it->second = op(it->second, a.local_view()[static_cast<std::size_t>(l)]);
-  }
+  using PartialMap = std::unordered_map<index_t, T>;
+  PartialMap partials = util::parallel_reduce(
+      0, static_cast<std::int64_t>(a.local_size()), util::kDefaultGrain,
+      PartialMap{},
+      [&](std::int64_t lo, std::int64_t hi) {
+        PartialMap m;
+        for (std::int64_t l = lo; l < hi; ++l) {
+          const auto gidx = a.dist().global_of_local(static_cast<index_t>(l));
+          index_t out_linear = 0;
+          int k = 0;
+          if (a.ndim() == 1) {
+            out_linear = 0;  // full reduction of a 1D array -> single cell
+          } else {
+            for (int d = 0; d < a.ndim(); ++d) {
+              if (d == axis) continue;
+              out_linear += gidx[static_cast<std::size_t>(d)] *
+                            out_strides[static_cast<std::size_t>(k)];
+              ++k;
+            }
+          }
+          auto [it, inserted] = m.emplace(out_linear, init);
+          it->second =
+              op(it->second, a.local_view()[static_cast<std::size_t>(l)]);
+        }
+        return m;
+      },
+      [&op](PartialMap x, PartialMap y) {
+        for (auto& [key, value] : y) {
+          auto [it, inserted] = x.emplace(key, value);
+          if (!inserted) it->second = op(it->second, value);
+        }
+        return x;
+      });
 
   // Route partials to the owner of each output cell.
   struct Partial {

@@ -87,13 +87,17 @@ DistArray<T> where(const DistArray<T>& cond, const DistArray<T>& a,
                           cond.dist().conformable(b.dist()),
                       "where: cond/a/b must be conformable");
   DistArray<T> out(cond.dist());
-  auto cv = cond.local_view();
-  auto av = a.local_view();
-  auto bv = b.local_view();
-  auto ov = out.local_view();
-  for (std::size_t i = 0; i < ov.size(); ++i) {
-    ov[i] = cv[i] != T{0} ? av[i] : bv[i];
-  }
+  const T* cv = cond.local_view().data();
+  const T* av = a.local_view().data();
+  const T* bv = b.local_view().data();
+  T* ov = out.local_view().data();
+  util::parallel_for(0, static_cast<std::int64_t>(out.local_view().size()),
+                     util::kDefaultGrain,
+                     [cv, av, bv, ov](std::int64_t lo, std::int64_t hi) {
+                       for (std::int64_t i = lo; i < hi; ++i) {
+                         ov[i] = cv[i] != T{0} ? av[i] : bv[i];
+                       }
+                     });
   return out;
 }
 

@@ -6,6 +6,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "util/task_pool.hpp"
+
 namespace pyhpc::precond {
 
 AmgPreconditioner::AmgPreconditioner(const Matrix& a, AmgOptions options)
@@ -325,16 +327,24 @@ void AmgPreconditioner::Prolongator::prolongate(const Vector& ec,
                                                 Vector& z) const {
   Vector ghost(*overlap_map);
   ghost.do_import(ec, *import_plan, tpetra::CombineMode::kInsert);
-  const LO n = z.local_size();
-  for (LO i = 0; i < n; ++i) {
-    double acc = 0.0;
-    for (auto k = row_ptr[static_cast<std::size_t>(i)];
-         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
-      acc += val[static_cast<std::size_t>(k)] *
-             ghost[col[static_cast<std::size_t>(k)]];
-    }
-    z[i] += acc;
-  }
+  // Rows of P are independent, so the interpolation sweep threads over row
+  // blocks like SpMV. (restrict_to stays serial: it scatters into shared
+  // overlap entries.)
+  const double* gv = ghost.local_view().data();
+  double* zv = z.local_view().data();
+  const std::int64_t* rp = row_ptr.data();
+  const LO* ci = col.data();
+  const double* va = val.data();
+  util::parallel_for(
+      0, static_cast<std::int64_t>(z.local_size()), tpetra::kRowGrain,
+      [=](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          double acc = 0.0;
+          const std::int64_t end = rp[i + 1];
+          for (std::int64_t k = rp[i]; k < end; ++k) acc += va[k] * gv[ci[k]];
+          zv[i] += acc;
+        }
+      });
 }
 
 void AmgPreconditioner::Prolongator::restrict_to(const Vector& r,
@@ -356,11 +366,20 @@ void AmgPreconditioner::Prolongator::restrict_to(const Vector& r,
 void AmgPreconditioner::smooth(const Level& level, const Vector& r, Vector& z,
                                int sweeps) const {
   Vector az(level.a->range_map());
+  const double* rv = r.local_view().data();
+  const double* dv = level.inv_diag.local_view().data();
+  const double* azv = az.local_view().data();
+  double* zv = z.local_view().data();
+  const double omega = options_.jacobi_omega;
+  const auto n = static_cast<std::int64_t>(z.local_size());
   for (int s = 0; s < sweeps; ++s) {
     level.a->apply(z, az);
-    for (LO i = 0; i < z.local_size(); ++i) {
-      z[i] += options_.jacobi_omega * level.inv_diag[i] * (r[i] - az[i]);
-    }
+    util::parallel_for(0, n, util::kDefaultGrain,
+                       [=](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i) {
+                           zv[i] += omega * dv[i] * (rv[i] - azv[i]);
+                         }
+                       });
   }
 }
 

@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "precond/preconditioner.hpp"
+#include "util/task_pool.hpp"
 
 namespace pyhpc::precond {
 
@@ -14,39 +15,59 @@ Ilu0Preconditioner::Ilu0Preconditioner(const Matrix& a) {
   auto aci = a.col_ind();
   auto av = a.values();
 
+  // Diagonal-block extraction threads over row blocks (rows independent);
+  // only the prefix sum between the two sweeps is serial. The IKJ
+  // factorization below and the triangular solves in apply() stay serial —
+  // both carry loop-carried dependencies across rows.
+  const LO n = n_;
   row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  util::parallel_for(
+      0, static_cast<std::int64_t>(n_), tpetra::kRowGrain,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          std::int64_t cnt = 0;
+          for (auto k = arp[static_cast<std::size_t>(i)];
+               k < arp[static_cast<std::size_t>(i) + 1]; ++k) {
+            if (aci[static_cast<std::size_t>(k)] < n) ++cnt;
+          }
+          row_ptr_[static_cast<std::size_t>(i) + 1] = cnt;
+        }
+      });
   for (LO i = 0; i < n_; ++i) {
-    std::int64_t cnt = 0;
-    for (auto k = arp[static_cast<std::size_t>(i)];
-         k < arp[static_cast<std::size_t>(i) + 1]; ++k) {
-      if (aci[static_cast<std::size_t>(k)] < n_) ++cnt;
-    }
-    row_ptr_[static_cast<std::size_t>(i) + 1] =
-        row_ptr_[static_cast<std::size_t>(i)] + cnt;
+    row_ptr_[static_cast<std::size_t>(i) + 1] +=
+        row_ptr_[static_cast<std::size_t>(i)];
   }
   col_.resize(static_cast<std::size_t>(row_ptr_.back()));
   val_.resize(static_cast<std::size_t>(row_ptr_.back()));
   diag_pos_.assign(static_cast<std::size_t>(n_), -1);
 
-  for (LO i = 0; i < n_; ++i) {
-    std::vector<std::pair<LO, double>> row;
-    for (auto k = arp[static_cast<std::size_t>(i)];
-         k < arp[static_cast<std::size_t>(i) + 1]; ++k) {
-      const LO c = aci[static_cast<std::size_t>(k)];
-      if (c < n_) row.emplace_back(c, av[static_cast<std::size_t>(k)]);
-    }
-    std::sort(row.begin(), row.end());
-    std::size_t k = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i)]);
-    for (const auto& [c, v] : row) {
-      col_[k] = c;
-      val_[k] = v;
-      if (c == i) diag_pos_[static_cast<std::size_t>(i)] =
-          static_cast<std::int64_t>(k);
-      ++k;
-    }
-    require<NumericalError>(diag_pos_[static_cast<std::size_t>(i)] >= 0,
-                            "ILU(0): structurally zero diagonal");
-  }
+  util::parallel_for(
+      0, static_cast<std::int64_t>(n_), tpetra::kRowGrain,
+      [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<std::pair<LO, double>> row;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          row.clear();
+          for (auto k = arp[static_cast<std::size_t>(i)];
+               k < arp[static_cast<std::size_t>(i) + 1]; ++k) {
+            const LO c = aci[static_cast<std::size_t>(k)];
+            if (c < n) row.emplace_back(c, av[static_cast<std::size_t>(k)]);
+          }
+          std::sort(row.begin(), row.end());
+          std::size_t k =
+              static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i)]);
+          for (const auto& [c, v] : row) {
+            col_[k] = c;
+            val_[k] = v;
+            if (c == static_cast<LO>(i)) {
+              diag_pos_[static_cast<std::size_t>(i)] =
+                  static_cast<std::int64_t>(k);
+            }
+            ++k;
+          }
+          require<NumericalError>(diag_pos_[static_cast<std::size_t>(i)] >= 0,
+                                  "ILU(0): structurally zero diagonal");
+        }
+      });
 
   // IKJ factorization restricted to the existing pattern.
   // For each row i, for each k < i present in row i:

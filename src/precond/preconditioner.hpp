@@ -15,6 +15,7 @@
 #include "tpetra/crs_matrix.hpp"
 #include "tpetra/operator.hpp"
 #include "tpetra/vector.hpp"
+#include "util/task_pool.hpp"
 
 namespace pyhpc::precond {
 
@@ -59,16 +60,28 @@ class JacobiPreconditioner final : public Preconditioner {
   }
 
   void apply(const Vector& r, Vector& z) const override {
+    const double* rv = r.local_view().data();
+    const double* dv = inv_diag_.local_view().data();
+    double* zv = z.local_view().data();
+    const double omega = omega_;
+    const auto n = static_cast<std::int64_t>(z.local_size());
     // First sweep from z=0 is just z = omega D^-1 r — no matvec needed.
-    for (LO i = 0; i < z.local_size(); ++i) {
-      z[i] = omega_ * inv_diag_[i] * r[i];
-    }
+    util::parallel_for(0, n, util::kDefaultGrain,
+                       [=](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i) {
+                           zv[i] = omega * dv[i] * rv[i];
+                         }
+                       });
     Vector az(a_.range_map());
     for (int s = 1; s < sweeps_; ++s) {
       a_.apply(z, az);
-      for (LO i = 0; i < z.local_size(); ++i) {
-        z[i] += omega_ * inv_diag_[i] * (r[i] - az[i]);
-      }
+      const double* azv = az.local_view().data();
+      util::parallel_for(0, n, util::kDefaultGrain,
+                         [=](std::int64_t lo, std::int64_t hi) {
+                           for (std::int64_t i = lo; i < hi; ++i) {
+                             zv[i] += omega * dv[i] * (rv[i] - azv[i]);
+                           }
+                         });
     }
   }
 
@@ -185,12 +198,19 @@ class ChebyshevPreconditioner final : public Preconditioner {
     Vector scratch(a_.range_map());
     z.put_scalar(0.0);
     double alpha = 0.0, beta = 0.0;
+    const double* rv = r.local_view().data();
+    const double* dv = inv_diag_.local_view().data();
+    double* sv = scratch.local_view().data();
+    const auto n = static_cast<std::int64_t>(scratch.local_size());
     for (int k = 0; k < degree_; ++k) {
       // residual of the preconditioned system: s = D^-1 (r - A z)
       a_.apply(z, scratch);
-      for (LO i = 0; i < scratch.local_size(); ++i) {
-        scratch[i] = inv_diag_[i] * (r[i] - scratch[i]);
-      }
+      util::parallel_for(0, n, util::kDefaultGrain,
+                         [=](std::int64_t lo, std::int64_t hi) {
+                           for (std::int64_t i = lo; i < hi; ++i) {
+                             sv[i] = dv[i] * (rv[i] - sv[i]);
+                           }
+                         });
       if (k == 0) {
         alpha = 1.0 / d;
         p.update(1.0, scratch, 0.0);

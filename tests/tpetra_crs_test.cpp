@@ -244,6 +244,53 @@ TEST(Crs, ApplyBeforeFillCompleteThrows) {
   });
 }
 
+TEST_P(CrsRankSweep, SpmvMatchesTripleLoopOnRandom64) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    // Regression guard for the hoisted-pointer CSR sweep in apply():
+    // a deterministic pseudo-random 64x64 matrix (~25% fill) checked
+    // entry-for-entry against the naive dense triple-loop reference.
+    const GO n = 64;
+    auto map = MapT::uniform(comm, n);
+    MatD a(map);
+    auto entry = [](GO r, GO c) -> double {
+      const std::uint64_t h =
+          (static_cast<std::uint64_t>(r) * 2654435761ull) ^
+          (static_cast<std::uint64_t>(c) * 40503ull);
+      if (h % 4 != 0) return 0.0;  // ~25% fill
+      return static_cast<double>(static_cast<std::int64_t>(h % 2001) - 1000) /
+             250.0;
+    };
+    for (LO i = 0; i < map.num_local(); ++i) {
+      const GO g = map.local_to_global(i);
+      for (GO c = 0; c < n; ++c) {
+        const double v = entry(g, c);
+        if (v != 0.0) a.insert_global_value(g, c, v);
+      }
+      a.insert_global_value(g, g, 8.0);  // keep every row non-empty
+    }
+    a.fill_complete();
+
+    VecD x(map), y(map);
+    for (LO i = 0; i < map.num_local(); ++i) {
+      const GO g = map.local_to_global(i);
+      x[i] = std::sin(static_cast<double>(g) * 0.37) + 0.25;
+    }
+    a.apply(x, y);
+
+    auto xg = x.gather_global();
+    auto yg = y.gather_global();
+    for (GO r = 0; r < n; ++r) {
+      double want = 0.0;
+      for (GO c = 0; c < n; ++c) {
+        double v = entry(r, c);
+        if (r == c) v += 8.0;
+        want += v * xg[static_cast<std::size_t>(c)];
+      }
+      EXPECT_NEAR(yg[static_cast<std::size_t>(r)], want, 1e-11) << "row " << r;
+    }
+  });
+}
+
 TEST_P(CrsRankSweep, ColMapOrdersOwnedThenGhost) {
   pc::run(GetParam(), [](pc::Communicator& comm) {
     const GO n = 24;

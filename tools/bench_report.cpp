@@ -56,6 +56,21 @@ void run_smoke_workloads() {
       comm.barrier();
     });
 
+    // Task pool (pool.* counters + pool.parallel_for spans): a 4-wide
+    // pool over an elementwise op and a deterministic reduction, large
+    // enough to exceed the grain and actually schedule regions.
+    {
+      pc::CommConfig cfg;
+      cfg.threads = 4;
+      pc::run(2, cfg, [](pc::Communicator& comm) {
+        const od::index_t n = 1 << 18;
+        auto dist = od::Distribution::block(comm, od::Shape({n}), 0);
+        auto x = od::DistArray<double>::random(dist, 3);
+        auto y = x.map([](double v) { return v * 2.0 + 1.0; });
+        (void)y.sum();
+      });
+    }
+
     // Krylov solve (per-iteration residual counters + solver span).
     pc::run(2, [](pc::Communicator& comm) {
       auto map = gl::Map::uniform(comm, 128);

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Markdown hygiene gate (CTest `docs_hygiene`, label `docs`).
+#
+# Checks two invariants the docs satellite of each PR must keep:
+#   1. Every intra-repo markdown link in the top-level docs resolves to an
+#      existing file or directory (external http(s)/mailto links and pure
+#      #anchors are skipped; a #section suffix on a file link is stripped).
+#   2. Every source subsystem directory src/<dir> has an entry in
+#      ARCHITECTURE.md (the subsystem map stays complete as directories
+#      are added).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+DOCS=(README.md DESIGN.md ARCHITECTURE.md EXPERIMENTS.md ROADMAP.md)
+fail=0
+
+for doc in "${DOCS[@]}"; do
+  path="$ROOT/$doc"
+  if [ ! -f "$path" ]; then
+    echo "MISSING DOC: $doc"
+    fail=1
+    continue
+  fi
+  # Extract markdown link targets: [text](target), one per line. Fenced
+  # code blocks are dropped first — C++ lambdas like `[](T& x)` would
+  # otherwise parse as links.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+      *' '*) continue ;;            # inline code, not a path
+    esac
+    target="${target%%#*}"          # strip section anchor
+    [ -z "$target" ] && continue
+    if [ ! -e "$ROOT/$target" ]; then
+      echo "BROKEN LINK: $doc -> $target"
+      fail=1
+    fi
+  done < <(awk '/^```/ { fence = !fence; next } !fence' "$path" \
+             | grep -oE '\]\([^)]+\)' | sed -E 's/^\]\(//; s/\)$//')
+done
+
+ARCH="$ROOT/ARCHITECTURE.md"
+if [ -f "$ARCH" ]; then
+  for dir in "$ROOT"/src/*/; do
+    name="$(basename "$dir")"
+    if ! grep -q "src/$name" "$ARCH"; then
+      echo "UNDOCUMENTED SUBSYSTEM: src/$name has no ARCHITECTURE.md entry"
+      fail=1
+    fi
+  done
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs hygiene: FAILED"
+  exit 1
+fi
+echo "docs hygiene: OK"

@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # Builds the benchmark suite in Release, runs every bench_* binary with
 # --benchmark_format=json, and merges the results plus a live metrics
-# snapshot into BENCH_PR3.json at the repo root (trace in trace_pr3.json).
+# snapshot into BENCH_PR5.json at the repo root (trace in trace_pr5.json).
+# EXPERIMENTS.md §"Bench pipeline" documents the report schema and how to
+# diff reports across PRs.
 #
 # Extra google-benchmark flags can be passed through BENCH_FLAGS, e.g.
-#   BENCH_FLAGS=--benchmark_min_time=0.05s tools/run_benches.sh
+#   BENCH_FLAGS=--benchmark_min_time=0.05 tools/run_benches.sh
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-bench}"
-OUT="${OUT_FILE:-$ROOT/BENCH_PR3.json}"
-TRACE="${TRACE_FILE:-$ROOT/trace_pr3.json}"
+OUT="${OUT_FILE:-$ROOT/BENCH_PR5.json}"
+TRACE="${TRACE_FILE:-$ROOT/trace_pr5.json}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j "$(nproc)"
