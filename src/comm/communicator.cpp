@@ -1,6 +1,8 @@
 #include "comm/communicator.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <tuple>
 
 namespace pyhpc::comm {
@@ -72,6 +74,75 @@ Communicator Communicator::split(int color, int key) {
     ctx_->publish_child(split_seq, color, child);
   } else {
     child = ctx_->wait_child(split_seq, color);
+  }
+  return Communicator(std::move(child), my_new_rank);
+}
+
+namespace {
+// shrink() keys the parent's child registry by agreement round, offset
+// into a range the per-rank program-order sequence numbers split() uses
+// can never reach.
+constexpr std::uint64_t kShrinkSeqBase = std::uint64_t{1} << 62;
+}  // namespace
+
+Communicator Communicator::shrink() {
+  obs::Span span("shrink", "recovery");
+  require<CommError>(size() <= 64,
+                     "shrink: dead-set bitmask supports at most 64 ranks");
+  // Contribute everything this rank can see; agree() folds in what the
+  // other survivors saw plus any rank that dies during the agreement.
+  std::uint64_t local = 0;
+  for (int r = 0; r < size(); ++r) {
+    if (ctx_->is_killed(r)) local |= std::uint64_t{1} << r;
+  }
+  std::uint64_t round = 0;
+  const std::uint64_t mask = ctx_->agree(rank_, local, &round);
+  require<CommError>((mask & (std::uint64_t{1} << rank_)) == 0,
+                     "shrink: calling rank is in the agreed dead set");
+
+  std::vector<int> survivors;
+  int my_new_rank = -1;
+  for (int r = 0; r < size(); ++r) {
+    if ((mask & (std::uint64_t{1} << r)) != 0) continue;
+    if (r == rank_) my_new_rank = static_cast<int>(survivors.size());
+    survivors.push_back(r);
+  }
+  const int creator = survivors.front();
+  const std::uint64_t key = kShrinkSeqBase + round;
+
+  std::shared_ptr<Context> child;
+  if (rank_ == creator) {
+    // Unlike split(), the child KEEPS the fault injector: recovery exists
+    // so chaos schedules can keep firing after a shrink. Rules naming
+    // specific ranks address the child's dense renumbering from here on.
+    child = std::make_shared<Context>(static_cast<int>(survivors.size()),
+                                      ctx_->config());
+    ctx_->publish_child(key, 0, child);
+  } else {
+    // Poll rather than block: if the creator dies before publishing, the
+    // caller must run another recovery round, which will exclude it.
+    for (;;) {
+      child = ctx_->try_get_child(key, 0);
+      if (child) break;
+      if (ctx_->is_killed(rank_)) {
+        throw RankKilledError("shrink on a killed rank (fault injection)");
+      }
+      if (ctx_->is_killed(creator)) {
+        throw PeerKilledError(
+            creator,
+            util::cat("shrink: surviving rank ", creator,
+                      " died before publishing the survivor context"));
+      }
+      if (ctx_->abort_flag().load(std::memory_order_relaxed)) {
+        throw CommError("shrink aborted: another rank failed");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  if (span.active()) {
+    span.arg("survivors", static_cast<std::int64_t>(survivors.size()));
+    span.arg("dead_mask", static_cast<std::int64_t>(mask));
+    span.arg("new_rank", static_cast<std::int64_t>(my_new_rank));
   }
   return Communicator(std::move(child), my_new_rank);
 }

@@ -320,6 +320,7 @@ class Communicator {
 
   void barrier() {
     obs::Span span = coll_span("barrier", 0);
+    CollectiveDeadline deadline_guard(*this);
     const std::uint64_t seq = next_seq();
     const int p = size();
     for (int k = 1; k < p; k <<= 1) {
@@ -339,6 +340,7 @@ class Communicator {
     check_root(root);
     algo = resolve_rooted(algo, "broadcast");
     obs::Span span = coll_span("broadcast", data.size_bytes(), algo);
+    CollectiveDeadline deadline_guard(*this);
     note_algo(algo);
     const std::uint64_t seq = next_seq();
     const int p = size();
@@ -404,6 +406,7 @@ class Communicator {
     check_root(root);
     algo = resolve_rooted(algo, "reduce");
     obs::Span span = coll_span("reduce", in.size_bytes(), algo);
+    CollectiveDeadline deadline_guard(*this);
     note_algo(algo);
     const std::uint64_t seq = next_seq();
     const int p = size();
@@ -476,6 +479,7 @@ class Communicator {
                        "allreduce: output span has wrong size");
     algo = resolve_allreduce(in.size_bytes(), algo);
     obs::Span span = coll_span("allreduce", in.size_bytes(), algo);
+    CollectiveDeadline deadline_guard(*this);
     note_algo(algo);
     if (algo == CollectiveAlgo::kLinear) {
       reduce(in, out, op, 0, CollectiveAlgo::kLinear);
@@ -557,6 +561,7 @@ class Communicator {
   template <class T, class Op>
   T scan_inclusive(T value, Op op) {
     obs::Span span = coll_span("scan_inclusive", sizeof(T));
+    CollectiveDeadline deadline_guard(*this);
     const std::uint64_t seq = next_seq();
     T acc = value;
     if (rank_ > 0) {
@@ -577,6 +582,7 @@ class Communicator {
   template <class T, class Op>
   T scan_exclusive(T value, Op op, T identity) {
     obs::Span span = coll_span("scan_exclusive", sizeof(T));
+    CollectiveDeadline deadline_guard(*this);
     const T inc = scan_inclusive(value, op);
     // Rotate: every rank wants the inclusive scan of the previous rank.
     const std::uint64_t seq = next_seq();
@@ -603,6 +609,7 @@ class Communicator {
     check_root(root);
     algo = resolve_gather(algo);
     obs::Span span = coll_span("gather", mine.size_bytes(), algo);
+    CollectiveDeadline deadline_guard(*this);
     note_algo(algo);
     const std::uint64_t seq = next_seq();
     const int p = size();
@@ -669,6 +676,7 @@ class Communicator {
     check_root(root);
     obs::Span span =
         coll_span("gatherv", mine.size_bytes(), CollectiveAlgo::kLinear);
+    CollectiveDeadline deadline_guard(*this);
     note_algo(CollectiveAlgo::kLinear);
     const std::uint64_t seq = next_seq();
     std::vector<std::vector<T>> chunks;
@@ -698,6 +706,7 @@ class Communicator {
     static_assert(std::is_trivially_copyable_v<T>);
     algo = resolve_allgather(mine.size_bytes(), algo);
     obs::Span span = coll_span("allgather", mine.size_bytes(), algo);
+    CollectiveDeadline deadline_guard(*this);
     note_algo(algo);
     if (algo == CollectiveAlgo::kLinear) {
       std::vector<T> all;
@@ -787,6 +796,7 @@ class Communicator {
     obs::Span span = coll_span(
         "allgatherv", mine.size_bytes(),
         linear ? CollectiveAlgo::kLinear : CollectiveAlgo::kRing);
+    CollectiveDeadline deadline_guard(*this);
     note_algo(linear ? CollectiveAlgo::kLinear : CollectiveAlgo::kRing);
     if (linear) {
       auto counts =
@@ -837,6 +847,7 @@ class Communicator {
     check_root(root);
     algo = resolve_scatter(algo);
     obs::Span span = coll_span("scatter", mine.size_bytes(), algo);
+    CollectiveDeadline deadline_guard(*this);
     note_algo(algo);
     const std::uint64_t seq = next_seq();
     const int p = size();
@@ -909,6 +920,7 @@ class Communicator {
     static_assert(std::is_trivially_copyable_v<T>);
     check_root(root);
     obs::Span span = coll_span("scatterv", 0, CollectiveAlgo::kLinear);
+    CollectiveDeadline deadline_guard(*this);
     note_algo(CollectiveAlgo::kLinear);
     const std::uint64_t seq = next_seq();
     if (rank_ == root) {
@@ -938,6 +950,7 @@ class Communicator {
     const std::size_t count = sendbuf.size() / static_cast<std::size_t>(p);
     algo = resolve_alltoall(algo);
     obs::Span span = coll_span("alltoall", sendbuf.size_bytes(), algo);
+    CollectiveDeadline deadline_guard(*this);
     note_algo(algo);
     const std::uint64_t seq = next_seq();
     auto sendblk = [&](int r) {
@@ -990,6 +1003,7 @@ class Communicator {
     for (const auto& part : sendparts) send_bytes += part.size() * sizeof(T);
     algo = resolve_alltoall(algo);
     obs::Span span = coll_span("alltoallv", send_bytes, algo);
+    CollectiveDeadline deadline_guard(*this);
     note_algo(algo);
     const std::uint64_t seq = next_seq();
     std::vector<std::vector<T>> recvparts(static_cast<std::size_t>(p));
@@ -1032,6 +1046,40 @@ class Communicator {
   /// Duplicates the communicator (independent collective sequencing).
   Communicator duplicate() { return split(0, rank_); }
 
+  // ---- ULFM-style recovery ----------------------------------------------
+  // The forward-progress protocol after a rank death (DESIGN.md §7):
+  // detect (PeerKilledError from a collective receive) -> revoke() ->
+  // agree() -> shrink() -> redistribute + restore a checkpoint on the
+  // survivor communicator (solvers::resilient_solve drives the last step).
+
+  /// Revokes the communicator: every blocked receive/probe throws
+  /// RevokedError and future sends/receives on it fail, so all survivors
+  /// fall out of interrupted operations and can join agree()/shrink().
+  /// Irreversible — continue on the communicator shrink() returns.
+  void revoke() { ctx_->revoke(); }
+  bool revoked() const { return ctx_->is_revoked(); }
+
+  /// Fault-tolerant agreement on the dead-rank bitmask (bit r = rank r
+  /// dead). Every surviving rank must call it once per recovery round;
+  /// the result is identical on all of them: the OR of every rank's
+  /// `local_dead_mask` plus all ranks that are killed (or already
+  /// returned). Works on a revoked communicator and tolerates ranks dying
+  /// mid-agreement (they are excused and folded into the result).
+  std::uint64_t agree(std::uint64_t local_dead_mask = 0) {
+    return ctx_->agree(rank_, local_dead_mask);
+  }
+
+  /// Agrees on the dead set and returns a dense re-ranked communicator of
+  /// the survivors (MPI_Comm_shrink analogue): survivors keep their
+  /// relative order and renumber to [0, n_survivors). The child context is
+  /// fresh (not revoked, empty mailboxes) but inherits the parent's
+  /// config *including the fault injector*, so chaos schedules keep firing
+  /// across shrinks — note that injector rules matching specific ranks
+  /// then address the child's renumbered ranks. Throws PeerKilledError if
+  /// the lowest survivor dies before publishing the child (call shrink()
+  /// again: the next round excludes it).
+  Communicator shrink();
+
  private:
   friend class PendingRecv;
 
@@ -1059,6 +1107,7 @@ class Communicator {
     Mailbox::WaitOptions w;
     w.aborted = &ctx_->abort_flag();
     w.killed = &ctx_->killed_flag(rank_);
+    w.revoked = &ctx_->revoked_flag();
     w.timeout = timeout_override.value_or(ctx_->config().recv_timeout);
     return w;
   }
@@ -1108,6 +1157,9 @@ class Communicator {
     if (ctx_->is_killed(rank_)) {
       throw RankKilledError("send on a killed rank (fault injection)");
     }
+    if (ctx_->is_revoked()) {
+      throw RevokedError("send on a revoked communicator");
+    }
     Envelope env;
     env.source = rank_;
     env.tag = tag;
@@ -1127,8 +1179,77 @@ class Communicator {
     send_bytes_internal(data, dest, tag, /*internal=*/true);
   }
 
+  /// RAII deadline budget for one collective call: the outermost
+  /// collective entered on this rank arms a single deadline of
+  /// CommConfig::recv_timeout covering *all* of its internal phases
+  /// (coll_pop spends the remainder, not a fresh timeout per phase — a
+  /// p-phase schedule no longer waits up to ~p x the configured
+  /// deadline). Nested collectives (kLinear compositions, allgatherv's
+  /// count round) inherit the outer budget.
+  class CollectiveDeadline {
+   public:
+    explicit CollectiveDeadline(Communicator& comm) : comm_(comm) {
+      const auto budget = comm_.ctx_->config().recv_timeout;
+      if (comm_.coll_deadline_ ==
+              std::chrono::steady_clock::time_point{} &&
+          budget.count() > 0) {
+        comm_.coll_deadline_ = std::chrono::steady_clock::now() + budget;
+        owner_ = true;
+      }
+    }
+    ~CollectiveDeadline() {
+      if (owner_) comm_.coll_deadline_ = {};
+    }
+    CollectiveDeadline(const CollectiveDeadline&) = delete;
+    CollectiveDeadline& operator=(const CollectiveDeadline&) = delete;
+
+   private:
+    Communicator& comm_;
+    bool owner_ = false;
+  };
+
+  /// Collective-internal receive: spends the shared per-collective
+  /// deadline budget and watches the expected sender's killed flag, so a
+  /// peer dying mid-collective surfaces as PeerKilledError promptly
+  /// instead of hanging until the watchdog aborts the world.
+  Envelope coll_pop(int source, int tag) {
+    std::optional<std::chrono::milliseconds> budget;
+    if (coll_deadline_ != std::chrono::steady_clock::time_point{}) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= coll_deadline_) {
+        ++stats().timeouts;
+        throw RecvTimeoutError(util::cat(
+            "collective exceeded its shared ",
+            ctx_->config().recv_timeout.count(),
+            " ms deadline (budget spans all phases of one collective)"));
+      }
+      budget = std::max(std::chrono::duration_cast<std::chrono::milliseconds>(
+                            coll_deadline_ - now),
+                        std::chrono::milliseconds(1));
+    }
+    Mailbox::WaitOptions w = wait_options(budget);
+    if (source != kAnySource && source != rank_) {
+      w.peer_killed = &ctx_->killed_flag(source);
+      w.peer_rank = source;
+    }
+    Envelope env = [&] {
+      try {
+        return ctx_->mailbox(rank_).pop_matching(source, tag, w);
+      } catch (const RecvTimeoutError&) {
+        ++stats().timeouts;
+        throw;
+      } catch (const RankKilledError&) {
+        throw;  // own death or PeerKilledError — both propagate unchanged
+      } catch (const CommError&) {
+        rethrow_refined();
+      }
+    }();
+    verify_integrity(env);
+    return env;
+  }
+
   void coll_recv_exact(std::span<std::byte> buf, int source, int tag) {
-    Envelope env = pop(source, tag);
+    Envelope env = coll_pop(source, tag);
     auto& s = stats();
     ++s.coll_messages_received;
     s.coll_bytes_received += env.payload.size();
@@ -1138,7 +1259,7 @@ class Communicator {
   }
 
   void coll_recv_any_size(int source, int tag) {
-    Envelope env = pop(source, tag);
+    Envelope env = coll_pop(source, tag);
     auto& s = stats();
     ++s.coll_messages_received;
     s.coll_bytes_received += env.payload.size();
@@ -1146,7 +1267,7 @@ class Communicator {
 
   template <class T>
   std::vector<T> coll_recv_variable(int source, int tag) {
-    Envelope env = pop(source, tag);
+    Envelope env = coll_pop(source, tag);
     auto& s = stats();
     ++s.coll_messages_received;
     s.coll_bytes_received += env.payload.size();
@@ -1387,6 +1508,9 @@ class Communicator {
   std::shared_ptr<Context> ctx_;
   int rank_;
   std::uint64_t seq_ = 0;
+  /// Deadline shared by every phase of the collective currently in flight
+  /// on this rank; the epoch value means "no collective deadline armed".
+  std::chrono::steady_clock::time_point coll_deadline_{};
 };
 
 inline bool PendingRecv::ready() {

@@ -25,6 +25,7 @@ Context::Context(int nranks, CommConfig config) : config_(std::move(config)) {
     killed_[i].store(false, std::memory_order_relaxed);
     done_[i].store(false, std::memory_order_relaxed);
   }
+  agree_calls_.assign(static_cast<std::size_t>(nranks), 0);
 }
 
 Mailbox& Context::mailbox(int rank) {
@@ -59,6 +60,17 @@ void Context::deliver(int dest, Envelope env) {
 
   if (FaultInjector* inj = config_.injector.get()) {
     if (auto d = inj->intercept(env.source, dest, env.tag)) {
+      // Every fired rule leaves a trace marker so a red chaos run can be
+      // reconstructed fault-by-fault (pairs with the faults.seed metric).
+      obs::Instant fired("fault.fired", "faults");
+      if (fired.active()) {
+        fired.arg("kind", fault_kind_name(d->kind));
+        fired.arg("src", static_cast<std::int64_t>(env.source));
+        fired.arg("dst", static_cast<std::int64_t>(dest));
+        fired.arg("tag", static_cast<std::int64_t>(env.tag));
+        fired.arg("rule", static_cast<std::int64_t>(d->rule));
+        fired.finish();
+      }
       switch (d->kind) {
         case FaultKind::kDrop:
           return;
@@ -93,14 +105,79 @@ void Context::abort() {
   aborted_.store(true, std::memory_order_relaxed);
   for (auto& mb : mailboxes_) mb->interrupt();
   children_cv_.notify_all();
+  agree_cv_.notify_all();
 }
 
 void Context::kill_rank(int rank) {
   require<CommError>(rank >= 0 && rank < size(),
                      "Context::kill_rank: rank out of range");
   killed_[rank].store(true, std::memory_order_release);
-  // Wake the victim if it is blocked so it observes its own death.
-  mailboxes_[static_cast<std::size_t>(rank)]->interrupt();
+  // Wake everyone: the victim observes its own death, and peers blocked in
+  // collective-internal receives on the victim detect it promptly instead
+  // of waiting out a poll period.
+  for (auto& mb : mailboxes_) mb->interrupt();
+  agree_cv_.notify_all();
+}
+
+void Context::revoke() {
+  revoked_.store(true, std::memory_order_release);
+  // Wake every blocked receiver so it observes the revocation.
+  for (auto& mb : mailboxes_) mb->interrupt();
+}
+
+std::uint64_t Context::agree(int rank, std::uint64_t local_mask,
+                             std::uint64_t* round_out) {
+  require<CommError>(rank >= 0 && rank < size(),
+                     "Context::agree: rank out of range");
+  require<CommError>(size() <= 64,
+                     "Context::agree: dead-set bitmask supports at most 64 "
+                     "ranks");
+  std::unique_lock<std::mutex> lock(agree_mu_);
+  const std::uint64_t round = agree_calls_[static_cast<std::size_t>(rank)]++;
+  if (round_out != nullptr) *round_out = round;
+  const auto bit = [](int r) { return std::uint64_t{1} << r; };
+  for (;;) {
+    if (killed_[rank].load(std::memory_order_acquire)) {
+      throw RankKilledError("agree on a killed rank (fault injection)");
+    }
+    if (aborted_.load(std::memory_order_relaxed)) {
+      throw CommError("agree aborted: another rank failed");
+    }
+    const std::uint64_t completed = agree_results_.size();
+    if (completed > round) {
+      return agree_results_[static_cast<std::size_t>(round)];
+    }
+    if (completed == round) {
+      if ((agree_contributed_ & bit(rank)) == 0) {
+        agree_contributed_ |= bit(rank);
+        agree_pending_mask_ |= local_mask;
+      }
+      // The round completes once every rank has contributed or is excused
+      // (killed or already returned from its body) — so a rank dying
+      // mid-agreement cannot wedge the survivors.
+      bool complete = true;
+      for (int r = 0; r < size() && complete; ++r) {
+        if ((agree_contributed_ & bit(r)) == 0 && !is_killed(r) &&
+            !is_done(r)) {
+          complete = false;
+        }
+      }
+      if (complete) {
+        std::uint64_t result = agree_pending_mask_;
+        for (int r = 0; r < size(); ++r) {
+          if (is_killed(r) || is_done(r)) result |= bit(r);
+        }
+        agree_results_.push_back(result);
+        agree_pending_mask_ = 0;
+        agree_contributed_ = 0;
+        agree_cv_.notify_all();
+        return result;
+      }
+    }
+    // completed < round: this rank is a full recovery ahead of a laggard;
+    // wait for the earlier round to finish first.
+    agree_cv_.wait_for(lock, std::chrono::milliseconds(25));
+  }
 }
 
 bool Context::is_killed(int rank) const {
@@ -146,6 +223,12 @@ void Context::publish_child(std::uint64_t seq, int color,
     children_[{seq, color}] = std::move(child);
   }
   children_cv_.notify_all();
+}
+
+std::shared_ptr<Context> Context::try_get_child(std::uint64_t seq, int color) {
+  std::lock_guard<std::mutex> lock(children_mu_);
+  auto it = children_.find(std::make_pair(seq, color));
+  return it != children_.end() ? it->second : nullptr;
 }
 
 std::shared_ptr<Context> Context::wait_child(std::uint64_t seq, int color) {

@@ -52,6 +52,34 @@ class Context {
   bool is_killed(int rank) const;
   const std::atomic<bool>& killed_flag(int rank) const;
 
+  // ---- ULFM-style recovery ---------------------------------------------
+
+  /// Revokes the communicator (MPI_Comm_revoke analogue): every blocked
+  /// receive/probe on it throws RevokedError and future operations fail,
+  /// so all survivors fall out of interrupted collectives and can join
+  /// agree()/shrink(). Irrevocable; recovery produces a fresh child
+  /// context via shrink.
+  void revoke();
+  bool is_revoked() const {
+    return revoked_.load(std::memory_order_acquire);
+  }
+  const std::atomic<bool>& revoked_flag() const { return revoked_; }
+
+  /// Fault-tolerant agreement on the known-dead set (MPI_Comm_agree
+  /// analogue, specialised to the dead-rank bitmask). Every live rank
+  /// calls it once per recovery round with the OR-mask of ranks it knows
+  /// to be dead (bit r = rank r); the call returns the same value on
+  /// every participant: the OR of all contributions plus every rank that
+  /// is killed or already done. It runs over shared context state, not
+  /// messages, because survivors of an interrupted collective have
+  /// divergent sequence counters — and it tolerates failures by
+  /// construction: a rank that dies mid-agreement is excused from the
+  /// round and folded into the result. `round_out` (optional) receives
+  /// the 0-based round index, used by shrink() to key the child registry.
+  /// Requires size() <= 64.
+  std::uint64_t agree(int rank, std::uint64_t local_mask,
+                      std::uint64_t* round_out = nullptr);
+
   /// The runner marks a rank done when its body returns (or dies); the
   /// watchdog only considers not-done ranks when looking for deadlock.
   void mark_done(int rank);
@@ -71,6 +99,11 @@ class Context {
                      std::shared_ptr<Context> child);
   std::shared_ptr<Context> wait_child(std::uint64_t seq, int color);
 
+  /// Non-blocking lookup in the child registry (shrink() polls it so a
+  /// creator dying before publishing surfaces as PeerKilledError instead
+  /// of a hang).
+  std::shared_ptr<Context> try_get_child(std::uint64_t seq, int color);
+
  private:
   CommConfig config_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
@@ -82,6 +115,17 @@ class Context {
   std::atomic<bool> deadlocked_{false};
   mutable std::mutex deadlock_mu_;
   std::string deadlock_report_;
+
+  std::atomic<bool> revoked_{false};
+
+  // agree() state: rounds complete in order; results are kept so a slow
+  // rank can pick up a round that finished without it blocking the next.
+  std::mutex agree_mu_;
+  std::condition_variable agree_cv_;
+  std::vector<std::uint64_t> agree_results_;  // result per completed round
+  std::uint64_t agree_pending_mask_ = 0;      // contributions, current round
+  std::uint64_t agree_contributed_ = 0;       // bit per contributing rank
+  std::vector<std::uint64_t> agree_calls_;    // per-rank agree() call count
 
   std::mutex children_mu_;
   std::condition_variable children_cv_;

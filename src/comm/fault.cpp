@@ -4,6 +4,17 @@
 
 namespace pyhpc::comm {
 
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kKillRank: return "kill";
+  }
+  return "unknown";
+}
+
 int FaultInjector::add_rule(const FaultRule& rule) {
   require(rule.probability >= 0.0 && rule.probability <= 1.0,
           "FaultRule: probability must be in [0, 1]");
@@ -17,7 +28,8 @@ std::optional<FaultInjector::Decision> FaultInjector::intercept(int source,
                                                                 int dest,
                                                                 int tag) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& rs : rules_) {
+  for (std::size_t idx = 0; idx < rules_.size(); ++idx) {
+    auto& rs = rules_[idx];
     const FaultRule& r = rs.rule;
     if (!matches(r, source, dest, tag)) continue;
     ++rs.matches;
@@ -39,6 +51,7 @@ std::optional<FaultInjector::Decision> FaultInjector::intercept(int source,
     d.kind = r.kind;
     d.victim = (r.victim == kAnyRank) ? dest : r.victim;
     d.delay = r.delay;
+    d.rule = static_cast<int>(idx);
     return d;
   }
   return std::nullopt;

@@ -65,9 +65,17 @@ struct FaultCounts {
   }
 };
 
+/// Short name of a fault kind ("drop", "kill", ...) for traces and logs.
+const char* fault_kind_name(FaultKind kind);
+
 class FaultInjector {
  public:
-  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+  explicit FaultInjector(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  /// The seed this injector was constructed with. Exported as the
+  /// `faults.seed` metric so any red chaos run replays bit-identically
+  /// from the printed seed.
+  std::uint64_t seed() const { return seed_; }
 
   /// Returns the index of the installed rule (for match introspection).
   int add_rule(const FaultRule& rule);
@@ -77,6 +85,8 @@ class FaultInjector {
     FaultKind kind;
     int victim = kAnyRank;
     std::chrono::milliseconds delay{0};
+    /// Index of the rule that fired (for the fault.fired obs instant).
+    int rule = -1;
   };
 
   /// Consulted once per message; nullopt means deliver normally.
@@ -102,6 +112,7 @@ class FaultInjector {
   }
 
   mutable std::mutex mu_;
+  std::uint64_t seed_;
   util::Xoshiro256 rng_;
   std::vector<RuleState> rules_;
   FaultCounts counts_;

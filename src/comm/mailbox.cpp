@@ -20,6 +20,10 @@ std::string describe_match(int source, int tag) {
                    tag == kAnyTag ? std::string("any") : std::to_string(tag),
                    ")");
 }
+
+bool flag_set(const std::atomic<bool>* flag) {
+  return flag != nullptr && flag->load(std::memory_order_relaxed);
+}
 }  // namespace
 
 Mailbox::WaitScope::WaitScope(Mailbox& mb_in, int source, int tag,
@@ -74,6 +78,11 @@ Envelope Mailbox::pop_matching(int source, int tag, const WaitOptions& opts) {
   std::unique_lock<std::mutex> lock(mu_);
   WaitScope scope(*this, source, tag, bounded);
   for (;;) {
+    // Revocation poisons the communicator outright: even a queued match is
+    // not delivered once revoke() has been called.
+    if (flag_set(opts.revoked)) {
+      throw RevokedError("recv on a revoked communicator");
+    }
     auto it = find_locked(source, tag);
     if (it != queue_.end()) {
       Envelope env = std::move(*it);
@@ -81,12 +90,19 @@ Envelope Mailbox::pop_matching(int source, int tag, const WaitOptions& opts) {
       queue_.erase(it);
       return env;
     }
-    if (opts.killed != nullptr &&
-        opts.killed->load(std::memory_order_relaxed)) {
+    if (flag_set(opts.killed)) {
       throw RankKilledError("recv on a killed rank (fault injection)");
     }
-    if (opts.aborted != nullptr &&
-        opts.aborted->load(std::memory_order_relaxed)) {
+    // No match queued and the expected sender is dead: nothing more can
+    // arrive from it (its sends are swallowed), so fail fast.
+    if (flag_set(opts.peer_killed)) {
+      throw PeerKilledError(
+          opts.peer_rank,
+          util::cat("recv: peer rank ", opts.peer_rank,
+                    " died (fault injection) while this rank waited for ",
+                    describe_match(source, tag)));
+    }
+    if (flag_set(opts.aborted)) {
       throw CommError("recv aborted: another rank failed");
     }
     const auto now = std::chrono::steady_clock::now();
@@ -122,16 +138,24 @@ Status Mailbox::probe(int source, int tag, const WaitOptions& opts) {
   std::unique_lock<std::mutex> lock(mu_);
   WaitScope scope(*this, source, tag, bounded);
   for (;;) {
+    if (flag_set(opts.revoked)) {
+      throw RevokedError("probe on a revoked communicator");
+    }
     auto it = find_locked(source, tag);
     if (it != queue_.end()) {
       return Status{it->source, it->tag, it->payload.size()};
     }
-    if (opts.killed != nullptr &&
-        opts.killed->load(std::memory_order_relaxed)) {
+    if (flag_set(opts.killed)) {
       throw RankKilledError("probe on a killed rank (fault injection)");
     }
-    if (opts.aborted != nullptr &&
-        opts.aborted->load(std::memory_order_relaxed)) {
+    if (flag_set(opts.peer_killed)) {
+      throw PeerKilledError(
+          opts.peer_rank,
+          util::cat("probe: peer rank ", opts.peer_rank,
+                    " died (fault injection) while this rank waited for ",
+                    describe_match(source, tag)));
+    }
+    if (flag_set(opts.aborted)) {
       throw CommError("probe aborted: another rank failed");
     }
     const auto now = std::chrono::steady_clock::now();

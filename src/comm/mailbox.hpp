@@ -27,6 +27,17 @@ class Mailbox {
     const std::atomic<bool>* aborted = nullptr;
     /// The owner rank's own killed flag; waiting throws RankKilledError.
     const std::atomic<bool>* killed = nullptr;
+    /// Revocation flag of the communicator (ULFM revoke): checked before
+    /// matching, so a revoked communicator delivers nothing — waiting (or
+    /// a queued match) surfaces as RevokedError.
+    const std::atomic<bool>* revoked = nullptr;
+    /// Killed flag of the specific peer this wait expects a message from
+    /// (collective-internal receives set it). Checked only when no match
+    /// is queued: a message the peer sent before dying is still delivered,
+    /// but waiting on a dead peer throws PeerKilledError(peer_rank)
+    /// promptly instead of hanging until the deadline or the watchdog.
+    const std::atomic<bool>* peer_killed = nullptr;
+    int peer_rank = -1;
     /// Zero means wait forever; otherwise RecvTimeoutError past deadline.
     std::chrono::milliseconds timeout{0};
   };

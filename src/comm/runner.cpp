@@ -138,6 +138,21 @@ CommStats run_impl(int nranks, const CommConfig& config,
   std::exception_ptr first_error;
   int first_error_rank = -1;
 
+  auto record_failure = [&](int rank) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      // Prefer the lowest-ranked *root cause*: aborted-wait CommErrors are
+      // secondary failures, so only record one if nothing else arrived.
+      if (!first_error || first_error_rank > rank) {
+        if (!ctx->abort_flag().load() || !first_error) {
+          first_error = std::current_exception();
+          first_error_rank = rank;
+        }
+      }
+    }
+    ctx->abort();
+  };
+
   auto body = [&](int rank) {
     // Tag this thread's trace events with its rank index (the trace `tid`).
     // Rank 0 runs on the calling thread, whose tag is restored below.
@@ -149,22 +164,17 @@ CommStats run_impl(int nranks, const CommConfig& config,
     try {
       Communicator comm(ctx, rank);
       fn(comm);
+    } catch (const PeerKilledError&) {
+      // A *survivor* noticed a peer die and nothing recovered from it.
+      // That is a real error on this rank, not a contained crash — and it
+      // must be caught before RankKilledError (its base class) or the
+      // containment below would swallow it and the run would "pass".
+      record_failure(rank);
     } catch (const RankKilledError&) {
       // Simulated crash of this rank alone: it vanishes, the world keeps
       // running. Drivers observe the death via Communicator::rank_dead.
     } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(error_mu);
-        // Prefer the lowest-ranked *root cause*: aborted-wait CommErrors are
-        // secondary failures, so only record one if nothing else arrived.
-        if (!first_error || first_error_rank > rank) {
-          if (!ctx->abort_flag().load() || !first_error) {
-            first_error = std::current_exception();
-            first_error_rank = rank;
-          }
-        }
-      }
-      ctx->abort();
+      record_failure(rank);
     }
     util::TaskPool::set_thread_default(saved_threads);
     ctx->mark_done(rank);
@@ -209,7 +219,11 @@ CommStats run_impl(int nranks, const CommConfig& config,
     }
     obs::import_comm_stats(reg, agg);
     reg.set_max("comm.mailbox_highwater_messages", static_cast<double>(depth));
-    if (config.injector) obs::import_fault_counts(reg, config.injector->counts());
+    if (config.injector) {
+      obs::import_fault_counts(reg, config.injector->counts());
+      // Replay handle: re-running with this seed reproduces the schedule.
+      reg.set("faults.seed", static_cast<double>(config.injector->seed()));
+    }
   }
 
   if (first_error) std::rethrow_exception(first_error);

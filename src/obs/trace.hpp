@@ -116,6 +116,53 @@ class Span {
   int nargs_ = 0;
 };
 
+/// Zero-duration marker ("ph":"i") that carries key/value args, for
+/// discrete occurrences worth annotating (e.g. each fired fault-injection
+/// rule). Same storage rules as Span::arg: literals only, no allocation.
+class Instant {
+ public:
+  Instant(const char* name, const char* category) {
+    if (!trace_enabled()) return;
+    buf_ = detail::thread_buffer();
+    name_ = name;
+    category_ = category;
+  }
+  ~Instant() { finish(); }
+  Instant(const Instant&) = delete;
+  Instant& operator=(const Instant&) = delete;
+
+  bool active() const { return buf_ != nullptr; }
+
+  void arg(const char* key, std::int64_t value) {
+    if (buf_ == nullptr || nargs_ >= detail::kMaxTraceArgs) return;
+    args_[nargs_].key = key;
+    args_[nargs_].kind = detail::TraceArg::Kind::kInt;
+    args_[nargs_].i = value;
+    ++nargs_;
+  }
+  void arg(const char* key, const char* value) {
+    if (buf_ == nullptr || nargs_ >= detail::kMaxTraceArgs) return;
+    args_[nargs_].key = key;
+    args_[nargs_].kind = detail::TraceArg::Kind::kString;
+    args_[nargs_].s = value;
+    ++nargs_;
+  }
+
+  void finish() {
+    if (buf_ == nullptr) return;
+    detail::record_event(buf_, 'i', name_, category_, detail::now_us(), 0,
+                         args_, nargs_);
+    buf_ = nullptr;
+  }
+
+ private:
+  detail::TraceBuffer* buf_ = nullptr;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  detail::TraceArg args_[detail::kMaxTraceArgs];
+  int nargs_ = 0;
+};
+
 /// Serializes every thread's buffer as one Chrome trace_event JSON
 /// document. Call from a quiescent point (after comm::run returns / threads
 /// joined); concurrent recording during export is not synchronized.
@@ -145,6 +192,15 @@ class Span {
   bool active() const { return false; }
   void arg(const char*, std::int64_t) {}
   void arg(const char*, double) {}
+  void arg(const char*, const char*) {}
+  void finish() {}
+};
+
+class Instant {
+ public:
+  Instant(const char*, const char*) {}
+  bool active() const { return false; }
+  void arg(const char*, std::int64_t) {}
   void arg(const char*, const char*) {}
   void finish() {}
 };

@@ -1,0 +1,59 @@
+// Fault-tolerant solve driver: ULFM-style recovery wrapped around the
+// Krylov solvers.
+//
+// resilient_solve() persists the operator and right-hand side into a
+// CheckpointStore, then runs a checkpointing CG (or restarted GMRES). When
+// a rank dies mid-solve, the survivors detect it (PeerKilledError from a
+// collective-internal receive, or RecvTimeoutError when a dropped message
+// ate the detection), revoke the communicator, agree on the dead set,
+// shrink to a dense survivor communicator, rebalance the restored operator
+// over it (Isorropia), restore the last complete checkpoint, and continue
+// iterating. The dead rank's own RankKilledError propagates out so the
+// runner contains it as a simulated crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "solvers/krylov.hpp"
+#include "tpetra/crs_matrix.hpp"
+#include "util/checkpoint.hpp"
+
+namespace pyhpc::solvers {
+
+using Matrix = tpetra::CrsMatrix<double>;
+
+struct ResilientOptions {
+  KrylovOptions krylov;
+  /// Iterations between solver-state checkpoints (x, r, p, iteration, rz).
+  int checkpoint_interval = 5;
+  /// Recovery rounds before giving up (each round loses at least one rank,
+  /// so the bound also guards against livelock).
+  int max_recoveries = 8;
+  /// "cg" (checkpointed recurrence, continued exactly) or "gmres"
+  /// (restarted from the last checkpointed iterate).
+  std::string solver = "cg";
+  /// CheckpointStore key prefix, for running several solves in one store.
+  std::string key = "resilient";
+};
+
+struct ResilientResult {
+  SolveResult solve;             // outcome of the (last) solve attempt
+  int recoveries = 0;            // shrink rounds survived
+  int final_size = 0;            // communicator size at completion
+  int final_rank = -1;           // this rank's id on the final communicator
+  std::vector<double> x_global;  // gathered solution, global index order
+};
+
+/// Solves a x = b with rank-death recovery. Collective over the
+/// communicator of a's row map (which must be contiguous, as must b's map).
+/// `x0` is the initial guess. The store must be shared by all ranks of the
+/// run (pass one instance captured by the SPMD body) and survives rank
+/// death by construction. On a killed rank this throws RankKilledError;
+/// survivors return the result computed on the shrunken communicator.
+ResilientResult resilient_solve(util::CheckpointStore& store, const Matrix& a,
+                                const Vector& b, const Vector& x0,
+                                const ResilientOptions& options = {});
+
+}  // namespace pyhpc::solvers

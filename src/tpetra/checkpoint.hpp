@@ -1,0 +1,100 @@
+// Checkpoint adapters for Tpetra objects: vector slices become versioned
+// CheckpointStore blocks addressed by global index, matrices become
+// write-once blobs of encoded rows. Both are written per rank but restored
+// range-wise, so survivors of a shrink can restore under a different
+// (re-ranked, rebalanced) contiguous map than the one that saved.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tpetra/crs_matrix.hpp"
+#include "tpetra/map.hpp"
+#include "tpetra/vector.hpp"
+#include "util/checkpoint.hpp"
+
+namespace pyhpc::tpetra {
+
+/// Saves this rank's slice of `v` (contiguous map) as one block of `key`
+/// at `version`. Local; every rank saves its own slice.
+inline void checkpoint_vector(util::CheckpointStore& store,
+                              const std::string& key, std::uint64_t version,
+                              const Vector<double>& v) {
+  const auto view = v.local_view();
+  store.save(key, version, v.map().min_global_index(), view.data(),
+             view.size());
+}
+
+/// Fills this rank's slice of `v` (contiguous map) from `key` at `version`,
+/// reassembling across whatever block boundaries the writers used. Local.
+/// Throws CheckpointError when the slice is not fully covered.
+inline void restore_vector(const util::CheckpointStore& store,
+                           const std::string& key, std::uint64_t version,
+                           Vector<double>& v) {
+  const auto vals =
+      store.restore(key, version, v.map().min_global_index(),
+                    v.map().max_global_index_plus_one());
+  std::copy(vals.begin(), vals.end(), v.local_view().begin());
+}
+
+/// True when `key` at `version` covers this rank's slice of `map`.
+inline bool vector_covered(const util::CheckpointStore& store,
+                           const std::string& key, std::uint64_t version,
+                           const Map<>& map) {
+  return store.covers(key, version, map.min_global_index(),
+                      map.max_global_index_plus_one());
+}
+
+/// Saves this rank's rows of a fill-complete matrix as part `rank` of an
+/// `nranks`-part blob. Row records are self-delimiting —
+/// [row, ncols, cols..., vals...] — so the concatenated blob decodes
+/// without per-part framing. Local; every rank saves its own part once.
+inline void checkpoint_matrix(util::CheckpointStore& store,
+                              const std::string& key,
+                              const CrsMatrix<double>& a) {
+  const auto& map = a.row_map();
+  std::vector<double> enc;
+  for (std::int32_t lr = 0; lr < map.num_local(); ++lr) {
+    const std::int64_t grow = map.local_to_global(lr);
+    const auto row = a.get_global_row(grow);
+    enc.push_back(static_cast<double>(grow));
+    enc.push_back(static_cast<double>(row.size()));
+    for (const auto& [col, val] : row) enc.push_back(static_cast<double>(col));
+    for (const auto& [col, val] : row) enc.push_back(val);
+  }
+  store.save_blob(key, map.rank(), map.num_ranks(), std::move(enc));
+}
+
+/// Rebuilds a fill-complete matrix over `row_map` from a matrix blob: every
+/// rank decodes the whole blob and keeps the rows it owns. Collective
+/// (fill_complete). Throws CheckpointError when the blob is incomplete.
+inline CrsMatrix<double> restore_matrix(const util::CheckpointStore& store,
+                                        const std::string& key,
+                                        const Map<>& row_map) {
+  const auto enc = store.restore_blob(key);
+  CrsMatrix<double> a(row_map);
+  std::size_t i = 0;
+  std::vector<std::int64_t> cols;
+  std::vector<double> vals;
+  while (i < enc.size()) {
+    const auto grow = static_cast<std::int64_t>(enc[i]);
+    const auto ncols = static_cast<std::size_t>(enc[i + 1]);
+    i += 2;
+    if (row_map.is_local_global_index(grow)) {
+      cols.resize(ncols);
+      vals.resize(ncols);
+      for (std::size_t k = 0; k < ncols; ++k) {
+        cols[k] = static_cast<std::int64_t>(enc[i + k]);
+        vals[k] = enc[i + ncols + k];
+      }
+      a.insert_global_values(grow, cols, vals);
+    }
+    i += 2 * ncols;
+  }
+  a.fill_complete();
+  return a;
+}
+
+}  // namespace pyhpc::tpetra

@@ -1,0 +1,97 @@
+// CheckpointStore: the in-memory stable store behind solver
+// checkpoint-restart.
+//
+// Ranks are threads here, so "stable storage that survives a rank failure"
+// is simply memory owned by no rank: one mutex-protected store shared by
+// every rank thread of a run. A killed rank's last writes stay readable,
+// exactly like a parallel file system holding the checkpoint files of a
+// crashed MPI process.
+//
+// Three payload families:
+//  - versioned blocks: per-rank slices of a distributed 1-D quantity
+//    (solver vectors, DistArray planes), keyed (key, version) and addressed
+//    by global offset. restore() reassembles ANY global range from whatever
+//    block boundaries the writers used, so survivors can restore under a
+//    different (post-shrink, rebalanced) distribution than the one that
+//    saved. A coverage walk rejects versions with holes — a version a dead
+//    rank never finished is detectable, and callers fall back one version.
+//  - versioned scalars: iteration counters and recurrence coefficients.
+//  - blobs: write-once immutable payloads with a declared part count
+//    (operator rows, right-hand sides), complete when every part arrived.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pyhpc::util {
+
+class CheckpointStore {
+ public:
+  // ---- versioned blocks --------------------------------------------------
+
+  /// Saves `n` doubles of `key` at `global_offset` under `version`.
+  /// Blocks may overlap earlier saves of the same version (last write wins).
+  void save(const std::string& key, std::uint64_t version,
+            std::int64_t global_offset, const double* data, std::size_t n);
+
+  /// Reassembles [lo, hi) of `key` at `version` from the saved blocks,
+  /// regardless of which ranks wrote them or at what boundaries. Throws
+  /// CheckpointError when any index in the range is uncovered.
+  std::vector<double> restore(const std::string& key, std::uint64_t version,
+                              std::int64_t lo, std::int64_t hi) const;
+
+  /// True when [lo, hi) of `key` at `version` is fully covered.
+  bool covers(const std::string& key, std::uint64_t version, std::int64_t lo,
+              std::int64_t hi) const;
+
+  /// Versions present for `key` (ascending; presence, not completeness).
+  std::vector<std::uint64_t> versions(const std::string& key) const;
+
+  // ---- versioned scalars -------------------------------------------------
+
+  void save_scalar(const std::string& key, std::uint64_t version, double v);
+  bool has_scalar(const std::string& key, std::uint64_t version) const;
+  /// Throws CheckpointError when absent.
+  double restore_scalar(const std::string& key, std::uint64_t version) const;
+
+  // ---- write-once blobs --------------------------------------------------
+
+  /// Saves part `part` of `nparts` for blob `key`. Every writer must
+  /// declare the same `nparts`; re-saving a part is idempotent (first
+  /// write wins — blobs are immutable).
+  void save_blob(const std::string& key, int part, int nparts,
+                 std::vector<double> data);
+
+  /// True once all declared parts of `key` have been saved.
+  bool blob_complete(const std::string& key) const;
+
+  /// All parts of `key` concatenated in part order. Throws CheckpointError
+  /// when the blob is absent or incomplete.
+  std::vector<double> restore_blob(const std::string& key) const;
+
+  // ---- accounting --------------------------------------------------------
+
+  /// Bytes of payload currently held (blocks + scalars + blobs).
+  std::uint64_t bytes_stored() const;
+
+  void clear();
+
+ private:
+  using BlockKey = std::pair<std::string, std::uint64_t>;  // (key, version)
+
+  struct Blob {
+    int nparts = -1;
+    std::map<int, std::vector<double>> parts;
+  };
+
+  mutable std::mutex mu_;
+  // (key, version) -> offset -> block payload.
+  std::map<BlockKey, std::map<std::int64_t, std::vector<double>>> blocks_;
+  std::map<BlockKey, double> scalars_;
+  std::map<std::string, Blob> blobs_;
+};
+
+}  // namespace pyhpc::util

@@ -57,11 +57,41 @@ class RankKilledError : public CommError {
   explicit RankKilledError(const std::string& what) : CommError(what) {}
 };
 
+/// A collective-internal receive noticed that the peer it was waiting on
+/// has been killed (ULFM-style fast failure detection). Derived from
+/// RankKilledError so "a rank died" can be caught uniformly, but carries
+/// the *dead peer's* rank: the throwing rank itself is alive and can run
+/// revoke/agree/shrink recovery.
+class PeerKilledError : public RankKilledError {
+ public:
+  PeerKilledError(int dead_rank, const std::string& what)
+      : RankKilledError(what), dead_rank_(dead_rank) {}
+  int dead_rank() const { return dead_rank_; }
+
+ private:
+  int dead_rank_;
+};
+
+/// The communicator has been revoked (MPI_Comm_revoke analogue): every
+/// in-flight and future operation on it fails so all surviving ranks fall
+/// out of whatever they were blocked in and can join the recovery.
+class RevokedError : public CommError {
+ public:
+  explicit RevokedError(const std::string& what) : CommError(what) {}
+};
+
 /// The ODIN driver lost a worker rank (it died or stopped acknowledging);
 /// names the dead rank so callers can degrade gracefully.
 class WorkerLostError : public CommError {
  public:
   explicit WorkerLostError(const std::string& what) : CommError(what) {}
+};
+
+/// Checkpoint store inconsistency: a restore asked for a range no complete
+/// snapshot covers (a rank died before finishing that version's saves).
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what) : Error(what) {}
 };
 
 /// Distributed-object inconsistency (incompatible maps, not fill-complete...).

@@ -487,3 +487,89 @@ TEST(DriverFaults, LegacyModeStillWorksUnchanged) {
     ctx.shutdown();
   });
 }
+
+TEST(DriverFaults, CombinedDuplicateAndCorruptScheduleStaysExact) {
+  // Duplicate and corrupt rules active at once: dedup (seq numbers) and
+  // integrity retries must compose — every op still executes exactly once.
+  auto inj = std::make_shared<pc::FaultInjector>(31);
+  pc::FaultRule dup;
+  dup.kind = pc::FaultKind::kDuplicate;
+  dup.source = 0;
+  dup.tag = od::kControlTag;
+  dup.probability = 0.2;
+  inj->add_rule(dup);
+  pc::FaultRule corrupt;
+  corrupt.kind = pc::FaultKind::kCorrupt;
+  corrupt.source = 0;
+  corrupt.tag = od::kControlTag;
+  corrupt.probability = 0.1;
+  inj->add_rule(corrupt);
+  const auto stats =
+      pc::run_with_stats(4, config_with(inj), [](pc::Communicator& comm) {
+        od::DriverContext ctx(comm, fast_driver_options());
+        if (!ctx.is_driver()) {
+          ctx.worker_loop();
+          return;
+        }
+        const std::int64_t n = 240;
+        const int ones = ctx.create_full(n, 1.0);
+        int cur = ones;
+        // Non-idempotent chain: a double-executed duplicate or a silently
+        // accepted corruption would shift the exact sum.
+        for (int i = 0; i < 50; ++i) cur = ctx.axpy(1.0, cur, ones);
+        EXPECT_NEAR(ctx.reduce_sum(cur), 51.0 * static_cast<double>(n), 1e-9);
+        ctx.shutdown();
+      });
+  EXPECT_GT(inj->counts().duplicates, 0u);
+  EXPECT_GT(inj->counts().corruptions, 0u);
+  EXPECT_GT(stats.corruption_detected, 0u);
+  EXPECT_GT(stats.retries, 0u);
+}
+
+TEST(DriverFaults, WorkerDeathUnderCombinedScheduleStillRaisesWorkerLost) {
+  // The WorkerLostError path must not be masked by concurrent duplicate
+  // and corrupt noise: retries on garbage must still conclude "dead", and
+  // dedup must not mistake the final retry burst for progress.
+  auto inj = std::make_shared<pc::FaultInjector>(17);
+  pc::FaultRule dup;
+  dup.kind = pc::FaultKind::kDuplicate;
+  dup.source = 0;
+  dup.tag = od::kControlTag;
+  dup.probability = 0.25;
+  inj->add_rule(dup);
+  pc::FaultRule corrupt;
+  corrupt.kind = pc::FaultKind::kCorrupt;
+  corrupt.source = 0;
+  corrupt.tag = od::kControlTag;
+  corrupt.probability = 0.15;
+  inj->add_rule(corrupt);
+  pc::FaultRule kill;
+  kill.kind = pc::FaultKind::kKillRank;
+  kill.source = 0;
+  kill.dest = 2;
+  kill.tag = od::kControlTag;
+  kill.skip_first = 4;  // worker rank 2 dies on the fifth control payload
+  kill.max_applications = 1;
+  inj->add_rule(kill);
+  try {
+    pc::run(4, config_with(inj), [](pc::Communicator& comm) {
+      od::DriverContext ctx(comm, fast_driver_options());
+      if (!ctx.is_driver()) {
+        ctx.worker_loop();
+        return;
+      }
+      const int ones = ctx.create_full(80, 1.0);
+      int cur = ones;
+      for (int i = 0; i < 20; ++i) {
+        cur = ctx.axpy(1.0, cur, ones);
+        (void)ctx.reduce_sum(cur);
+      }
+      FAIL() << "expected WorkerLostError";
+    });
+    FAIL() << "expected WorkerLostError to propagate out of run()";
+  } catch (const pyhpc::WorkerLostError& e) {
+    EXPECT_NE(std::string(e.what()).find("worker rank 2"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(inj->counts().kills, 1u);
+}

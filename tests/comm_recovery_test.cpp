@@ -1,0 +1,489 @@
+// ULFM-style recovery tests: fast peer-death detection inside collectives,
+// revoke() poisoning, fault-tolerant agree(), shrink() re-ranking, the
+// shared collective deadline budget, CheckpointStore round trips, DistArray
+// snapshots, and the acceptance scenario — a rank killed mid-CG at p=8 with
+// the survivors completing the solve on the shrunken communicator.
+// Registered under the `faults` CTest label: `ctest -L faults`.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "comm/config.hpp"
+#include "comm/fault.hpp"
+#include "comm/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "odin/checkpoint.hpp"
+#include "odin/dist_array.hpp"
+#include "solvers/resilient.hpp"
+#include "tpetra/checkpoint.hpp"
+#include "util/checkpoint.hpp"
+#include "util/error.hpp"
+
+namespace pc = pyhpc::comm;
+namespace pt = pyhpc::tpetra;
+namespace po = pyhpc::odin;
+namespace ps = pyhpc::solvers;
+namespace pu = pyhpc::util;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+pc::CommConfig config_with(std::shared_ptr<pc::FaultInjector> injector) {
+  pc::CommConfig cfg;
+  cfg.injector = std::move(injector);
+  return cfg;
+}
+
+/// Kill `victim` on its (skip+1)-th outgoing message.
+std::shared_ptr<pc::FaultInjector> kill_injector(int victim, int skip,
+                                                 std::uint64_t seed = 1) {
+  auto inj = std::make_shared<pc::FaultInjector>(seed);
+  pc::FaultRule rule;
+  rule.kind = pc::FaultKind::kKillRank;
+  rule.source = victim;
+  rule.victim = victim;
+  rule.skip_first = skip;
+  rule.max_applications = 1;
+  inj->add_rule(rule);
+  return inj;
+}
+
+/// 1-D Laplacian stencil [-1, 2, -1] over the map's rows.
+pt::CrsMatrix<double> laplacian(const pt::Map<>& map) {
+  pt::CrsMatrix<double> a(map);
+  const std::int64_t n = map.num_global();
+  for (const auto g : map.my_global_indices()) {
+    a.insert_global_value(g, g, 2.0);
+    if (g > 0) a.insert_global_value(g, g - 1, -1.0);
+    if (g + 1 < n) a.insert_global_value(g, g + 1, -1.0);
+  }
+  a.fill_complete();
+  return a;
+}
+
+double truth(std::int64_t i) { return std::sin(0.1 * static_cast<double>(i)); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Fast failure detection inside collectives
+// ---------------------------------------------------------------------------
+
+TEST(PeerDeath, CollectiveReceiversDetectAKilledPeerPromptly) {
+  // Rank 2 dies on its first collective send; no recv_timeout is configured,
+  // so only the killed-peer poll can unblock the survivors.
+  try {
+    pc::run(3, config_with(kill_injector(/*victim=*/2, /*skip=*/0)),
+            [](pc::Communicator& comm) {
+              (void)comm.allreduce_value<int>(comm.rank(),
+                                              [](int a, int b) { return a + b; });
+            });
+    FAIL() << "expected PeerKilledError";
+  } catch (const pyhpc::PeerKilledError& e) {
+    EXPECT_EQ(e.dead_rank(), 2);
+  }
+}
+
+TEST(PeerDeath, SurvivorErrorIsNotSwallowedAsContainment) {
+  // PeerKilledError derives from RankKilledError; a regression that lets
+  // the runner's containment catch it would make this run "pass".
+  EXPECT_THROW(
+      pc::run(2, config_with(kill_injector(1, 0)),
+              [](pc::Communicator& comm) { comm.barrier(); }),
+      pyhpc::PeerKilledError);
+}
+
+// ---------------------------------------------------------------------------
+// revoke / agree / shrink
+// ---------------------------------------------------------------------------
+
+TEST(Revoke, PoisonsBlockedReceiversAndFutureSends) {
+  pc::run(3, [](pc::Communicator& comm) {
+    if (comm.rank() == 1) {
+      std::this_thread::sleep_for(50ms);  // let the others block first
+      comm.revoke();
+      return;
+    }
+    // A receive blocked with no deadline and no sender in sight: only the
+    // revocation can release it.
+    EXPECT_THROW((void)comm.recv_value<int>(1, 4), pyhpc::RevokedError);
+    EXPECT_TRUE(comm.revoked());
+    EXPECT_THROW(comm.send_value<int>(1, (comm.rank() + 1) % comm.size(), 4),
+                 pyhpc::RevokedError);
+  });
+}
+
+TEST(Agree, ReturnsTheUnionOfContributionsOnEveryRank) {
+  pc::run(4, [](pc::Communicator& comm) {
+    // Only rank 1 "knows" rank 3 is suspect; everyone must learn it.
+    const std::uint64_t local = comm.rank() == 1 ? (1ull << 3) : 0;
+    EXPECT_EQ(comm.agree(local), 1ull << 3);
+    // A second round works too and starts clean.
+    EXPECT_EQ(comm.agree(0), 0u);
+  });
+}
+
+TEST(Shrink, SurvivorsGetADenseReRankedCommunicatorAfterADeath) {
+  auto inj = kill_injector(/*victim=*/1, /*skip=*/0);
+  pc::run(4, config_with(inj), [](pc::Communicator& comm) {
+    try {
+      (void)comm.allreduce_value<int>(1, [](int a, int b) { return a + b; });
+      FAIL() << "expected the failed collective to throw on every survivor";
+    } catch (const pyhpc::PeerKilledError& e) {
+      EXPECT_EQ(e.dead_rank(), 1);
+    } catch (const pyhpc::RevokedError&) {
+      // A faster survivor already detected the death and revoked; the
+      // revocation unwedging THIS rank's blocked receive is the designed
+      // escape hatch.
+    }
+    comm.revoke();
+    pc::Communicator small = comm.shrink();
+    EXPECT_EQ(small.size(), 3);
+    // Old ranks 0,2,3 -> new ranks 0,1,2, order preserved.
+    const int expected_new = comm.rank() == 0 ? 0 : comm.rank() - 1;
+    EXPECT_EQ(small.rank(), expected_new);
+    // The shrunken communicator is fully operational.
+    EXPECT_EQ(small.allreduce_value<int>(small.rank(),
+                                         [](int a, int b) { return a + b; }),
+              3);
+    EXPECT_EQ(small.broadcast_value<int>(small.rank() == 0 ? 17 : 0, 0), 17);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Shared collective deadline budget (one recv_timeout for ALL phases)
+// ---------------------------------------------------------------------------
+
+TEST(CollectiveDeadline, BudgetIsSharedAcrossPhases) {
+  // Rabenseifner at p=2 runs two receive phases on each rank. A 400 ms
+  // sender-side delay per message keeps every individual wait under the
+  // 600 ms recv_timeout, but the second phase lands at ~800 ms from entry:
+  // a per-phase deadline would pass, the shared budget must not.
+  auto inj = std::make_shared<pc::FaultInjector>(1);
+  pc::FaultRule rule;
+  rule.kind = pc::FaultKind::kDelay;
+  rule.source = 1;
+  rule.dest = 0;
+  rule.delay = 400ms;
+  inj->add_rule(rule);
+  pc::CommConfig cfg = config_with(inj);
+  cfg.recv_timeout = 600ms;
+  EXPECT_THROW(
+      pc::run(2, cfg,
+              [](pc::Communicator& comm) {
+                std::vector<double> in(256, 1.0), out(256, 0.0);
+                comm.allreduce(std::span<const double>(in),
+                               std::span<double>(out),
+                               [](double a, double b) { return a + b; },
+                               pc::CollectiveAlgo::kRabenseifner);
+              }),
+      pyhpc::RecvTimeoutError);
+}
+
+TEST(CollectiveDeadline, BudgetRearmsPerCollective) {
+  // Many healthy collectives back to back: each arms a fresh budget, so a
+  // deadline sized for one collective never accumulates across calls.
+  pc::CommConfig cfg;
+  cfg.recv_timeout = 2000ms;
+  pc::run(4, cfg, [](pc::Communicator& comm) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(comm.allreduce_value<int>(1, [](int a, int b) { return a + b; }),
+                comm.size());
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointStore
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointStore, RestoresAcrossForeignBlockBoundaries) {
+  pu::CheckpointStore store;
+  // Writer layout 4+4+4; reader asks for ranges crossing every boundary.
+  const double a[] = {0, 1, 2, 3}, b[] = {4, 5, 6, 7}, c[] = {8, 9, 10, 11};
+  store.save("x", 1, 0, a, 4);
+  store.save("x", 1, 4, b, 4);
+  store.save("x", 1, 8, c, 4);
+  EXPECT_TRUE(store.covers("x", 1, 0, 12));
+  const auto mid = store.restore("x", 1, 3, 9);
+  ASSERT_EQ(mid.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(mid[static_cast<std::size_t>(i)], 3 + i);
+  EXPECT_GE(store.bytes_stored(), 12 * sizeof(double));
+}
+
+TEST(CheckpointStore, HolesAreDetectedNotZeroFilled) {
+  pu::CheckpointStore store;
+  const double a[] = {0, 1, 2, 3};
+  store.save("x", 2, 0, a, 4);
+  store.save("x", 2, 8, a, 4);  // [4, 8) never saved: an unfinished version
+  EXPECT_FALSE(store.covers("x", 2, 0, 12));
+  EXPECT_TRUE(store.covers("x", 2, 8, 12));
+  EXPECT_THROW((void)store.restore("x", 2, 0, 12), pyhpc::CheckpointError);
+  EXPECT_THROW((void)store.restore("x", 3, 0, 4), pyhpc::CheckpointError);
+}
+
+TEST(CheckpointStore, ScalarsAndBlobsRoundTrip) {
+  pu::CheckpointStore store;
+  store.save_scalar("it", 5, 5.0);
+  EXPECT_TRUE(store.has_scalar("it", 5));
+  EXPECT_FALSE(store.has_scalar("it", 6));
+  EXPECT_EQ(store.restore_scalar("it", 5), 5.0);
+
+  store.save_blob("A", 1, 2, {3.0, 4.0});
+  EXPECT_FALSE(store.blob_complete("A"));
+  EXPECT_THROW((void)store.restore_blob("A"), pyhpc::CheckpointError);
+  store.save_blob("A", 0, 2, {1.0, 2.0});
+  EXPECT_TRUE(store.blob_complete("A"));
+  const auto all = store.restore_blob("A");  // parts concatenate in order
+  EXPECT_EQ(all, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  store.save_blob("A", 0, 2, {9.0});  // immutable: first write wins
+  EXPECT_EQ(store.restore_blob("A").front(), 1.0);
+}
+
+TEST(CheckpointStore, VectorSlicesRestoreUnderADifferentMap) {
+  auto store = std::make_shared<pu::CheckpointStore>();
+  // Saved at p=4 block boundaries, restored at p=3 boundaries.
+  pc::run(4, [&](pc::Communicator& comm) {
+    auto map = pt::Map<>::uniform(comm, 10);
+    pt::Vector<double> v(map);
+    for (std::int32_t i = 0; i < map.num_local(); ++i) {
+      v[i] = static_cast<double>(map.local_to_global(i)) * 2.0;
+    }
+    pt::checkpoint_vector(*store, "v", 7, v);
+  });
+  pc::run(3, [&](pc::Communicator& comm) {
+    auto map = pt::Map<>::uniform(comm, 10);
+    ASSERT_TRUE(pt::vector_covered(*store, "v", 7, map));
+    pt::Vector<double> v(map);
+    pt::restore_vector(*store, "v", 7, v);
+    for (std::int32_t i = 0; i < map.num_local(); ++i) {
+      EXPECT_EQ(v[i], static_cast<double>(map.local_to_global(i)) * 2.0);
+    }
+  });
+}
+
+TEST(CheckpointStore, DistArraySnapshotRestoresUnderAnotherDistribution) {
+  auto store = std::make_shared<pu::CheckpointStore>();
+  pc::run(3, [&](pc::Communicator& comm) {
+    auto block = po::Distribution::block(comm, po::Shape({6, 4}), 0);
+    auto a = po::DistArray<double>::fromfunction(
+        block, [](const std::vector<po::index_t>& g) {
+          return static_cast<double>(10 * g[0] + g[1]);
+        });
+    po::snapshot_dist_array(*store, "plane", 3, a);
+    comm.barrier();  // all blocks saved before anyone restores
+
+    // Restore the same global content under a cyclic row distribution.
+    auto cyclic = po::Distribution::cyclic(comm, po::Shape({6, 4}), 0);
+    po::DistArray<double> b(cyclic);
+    po::restore_dist_array(*store, "plane", 3, b);
+    const auto view = b.local_view();
+    for (po::index_t i = 0; i < b.local_size(); ++i) {
+      const auto g = cyclic.global_of_local(i);
+      EXPECT_EQ(view[static_cast<std::size_t>(i)],
+                static_cast<double>(10 * g[0] + g[1]));
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Observability: fired-rule instants and the faults.seed replay handle
+// ---------------------------------------------------------------------------
+
+TEST(FaultObservability, FiredRulesLeaveInstantsAndSeedMetric) {
+  pyhpc::obs::MetricsRegistry::global().reset();
+  pyhpc::obs::clear_trace();
+  pyhpc::obs::set_trace_enabled(true);
+  auto inj = std::make_shared<pc::FaultInjector>(/*seed=*/4242);
+  pc::FaultRule rule;
+  rule.kind = pc::FaultKind::kDrop;
+  rule.source = 1;
+  rule.dest = 0;
+  rule.tag = 5;
+  inj->add_rule(rule);
+  pc::run(2, config_with(inj), [](pc::Communicator& comm) {
+    if (comm.rank() == 1) {
+      comm.send_value<int>(1, 0, 5);  // dropped
+      comm.send_value<int>(2, 0, 6);
+      return;
+    }
+    EXPECT_EQ(comm.recv_value<int>(1, 6), 2);
+  });
+  pyhpc::obs::set_trace_enabled(false);
+  const std::string json = pyhpc::obs::trace_json();
+  EXPECT_NE(json.find("fault.fired"), std::string::npos);
+  EXPECT_NE(json.find("drop"), std::string::npos);
+  pyhpc::obs::clear_trace();
+  EXPECT_EQ(pyhpc::obs::MetricsRegistry::global().value("faults.seed"), 4242.0);
+}
+
+// ---------------------------------------------------------------------------
+// resilient_solve
+// ---------------------------------------------------------------------------
+
+TEST(ResilientSolve, NoFaultBaselineMatchesTheTruth) {
+  auto store = std::make_shared<pu::CheckpointStore>();
+  pc::run(4, [&](pc::Communicator& comm) {
+    const std::int64_t n = 48;
+    auto map = pt::Map<>::uniform(comm, n);
+    auto a = laplacian(map);
+    pt::Vector<double> xt(map), b(map), x0(map);
+    for (std::int32_t i = 0; i < map.num_local(); ++i) {
+      xt[i] = truth(map.local_to_global(i));
+    }
+    a.apply(xt, b);
+    ps::ResilientOptions opts;
+    opts.krylov.tolerance = 1e-12;
+    opts.krylov.max_iterations = 400;
+    auto res = ps::resilient_solve(*store, a, b, x0, opts);
+    EXPECT_TRUE(res.solve.converged);
+    EXPECT_EQ(res.recoveries, 0);
+    EXPECT_EQ(res.final_size, 4);
+    ASSERT_EQ(res.x_global.size(), static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(res.x_global[static_cast<std::size_t>(i)], truth(i), 1e-7);
+    }
+  });
+}
+
+// The acceptance scenario: p=8, one rank killed mid-CG, survivors revoke,
+// agree, shrink to p=7, rebalance the restored operator, restore the last
+// checkpoint, and finish with the correct solution.
+TEST(ResilientSolve, RankKilledMidCgAtP8CompletesOnSurvivors) {
+  auto& reg = pyhpc::obs::MetricsRegistry::global();
+  reg.reset();
+  auto store = std::make_shared<pu::CheckpointStore>();
+  auto inj = std::make_shared<pc::FaultInjector>(/*seed=*/808);
+  const std::int64_t n = 96;
+
+  pc::run(8, config_with(inj), [&](pc::Communicator& comm) {
+    auto map = pt::Map<>::uniform(comm, n);
+    auto a = laplacian(map);
+    pt::Vector<double> xt(map), b(map), x0(map);
+    for (std::int32_t i = 0; i < map.num_local(); ++i) {
+      xt[i] = truth(map.local_to_global(i));
+    }
+    a.apply(xt, b);
+
+    // Arm the kill only after assembly so setup cannot be the casualty:
+    // rank 5 dies ~40 collective-internal sends into the CG loop.
+    comm.barrier();
+    if (comm.rank() == 0) {
+      pc::FaultRule rule;
+      rule.kind = pc::FaultKind::kKillRank;
+      rule.source = 5;
+      rule.victim = 5;
+      rule.skip_first = 40;
+      rule.max_applications = 1;
+      inj->add_rule(rule);
+    }
+    comm.barrier();
+
+    ps::ResilientOptions opts;
+    opts.krylov.tolerance = 1e-12;
+    opts.krylov.max_iterations = 600;
+    opts.checkpoint_interval = 2;
+    // Survivors (rank 5 throws RankKilledError through this call and is
+    // contained by the runner).
+    auto res = ps::resilient_solve(*store, a, b, x0, opts);
+    EXPECT_TRUE(res.solve.converged) << res.solve.summary();
+    EXPECT_GE(res.recoveries, 1);
+    EXPECT_EQ(res.final_size, 8 - res.recoveries);
+    ASSERT_EQ(res.x_global.size(), static_cast<std::size_t>(n));
+    // Residual oracle against the exact stencil: b_i = (A x_true)_i.
+    double max_residual = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto at = [&](std::int64_t j) {
+        return (j < 0 || j >= n) ? 0.0
+                                 : res.x_global[static_cast<std::size_t>(j)];
+      };
+      const double bi = 2.0 * truth(i) - (i > 0 ? truth(i - 1) : 0.0) -
+                        (i + 1 < n ? truth(i + 1) : 0.0);
+      const double ri = bi - (2.0 * at(i) - at(i - 1) - at(i + 1));
+      max_residual = std::max(max_residual, std::abs(ri));
+    }
+    EXPECT_LT(max_residual, 1e-8);
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(res.x_global[static_cast<std::size_t>(i)], truth(i), 1e-6);
+    }
+  });
+  EXPECT_EQ(inj->counts().kills, 1u);
+  // recovery.* metrics surfaced in the unified registry.
+  EXPECT_GE(reg.value("recovery.detections"), 1.0);
+  EXPECT_GE(reg.value("recovery.shrinks"), 1.0);
+  EXPECT_GT(reg.value("recovery.checkpoint_bytes"), 0.0);
+  EXPECT_TRUE(reg.has("recovery.resolve_iterations"));
+  EXPECT_EQ(reg.value("faults.seed"), 808.0);
+}
+
+TEST(ResilientSolve, DroppedCollectiveMessageRecoversViaTimeoutAndShrink) {
+  // A permanently dropped collective-internal message starves a receive:
+  // detection comes from the shared deadline, recovery shrinks to the SAME
+  // size (nobody died) onto a fresh context and the solve completes.
+  auto store = std::make_shared<pu::CheckpointStore>();
+  auto inj = std::make_shared<pc::FaultInjector>(/*seed=*/11);
+  pc::FaultRule rule;
+  rule.kind = pc::FaultKind::kDrop;
+  rule.source = 2;
+  rule.skip_first = 60;  // mid-solve, past assembly
+  rule.max_applications = 1;
+  inj->add_rule(rule);
+  pc::CommConfig cfg = config_with(inj);
+  cfg.recv_timeout = 500ms;
+
+  pc::run(4, cfg, [&](pc::Communicator& comm) {
+    const std::int64_t n = 48;
+    auto map = pt::Map<>::uniform(comm, n);
+    auto a = laplacian(map);
+    pt::Vector<double> xt(map), b(map), x0(map);
+    for (std::int32_t i = 0; i < map.num_local(); ++i) {
+      xt[i] = truth(map.local_to_global(i));
+    }
+    a.apply(xt, b);
+    ps::ResilientOptions opts;
+    opts.krylov.tolerance = 1e-12;
+    opts.krylov.max_iterations = 400;
+    opts.checkpoint_interval = 3;
+    auto res = ps::resilient_solve(*store, a, b, x0, opts);
+    EXPECT_TRUE(res.solve.converged) << res.solve.summary();
+    EXPECT_EQ(res.final_size, 4);  // no rank actually died
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(res.x_global[static_cast<std::size_t>(i)], truth(i), 1e-6);
+    }
+  });
+  EXPECT_EQ(inj->counts().drops, 1u);
+}
+
+TEST(ResilientSolve, GmresRestartsFromTheLastCheckpointAfterADeath) {
+  auto store = std::make_shared<pu::CheckpointStore>();
+  auto inj = kill_injector(/*victim=*/3, /*skip=*/220, 21);
+  const std::int64_t n = 60;
+  pc::run(4, config_with(inj),
+          [&](pc::Communicator& comm) {
+            auto map = pt::Map<>::uniform(comm, n);
+            auto a = laplacian(map);
+            pt::Vector<double> xt(map), b(map), x0(map);
+            for (std::int32_t i = 0; i < map.num_local(); ++i) {
+              xt[i] = truth(map.local_to_global(i));
+            }
+            a.apply(xt, b);
+            ps::ResilientOptions opts;
+            opts.solver = "gmres";
+            opts.krylov.tolerance = 1e-8;
+            opts.krylov.max_iterations = 400;
+            auto res = ps::resilient_solve(*store, a, b, x0, opts);
+            EXPECT_TRUE(res.solve.converged) << res.solve.summary();
+            for (std::int64_t i = 0; i < n; ++i) {
+              EXPECT_NEAR(res.x_global[static_cast<std::size_t>(i)], truth(i),
+                          1e-4);
+            }
+          });
+  EXPECT_EQ(inj->counts().kills, 1u) << "the fault never fired: the scenario "
+                                        "did not exercise recovery";
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Chaos soak front end: builds (if needed) and runs tools/chaos_soak over
+# many seeded fault schedules.
+#
+#   tools/run_soak.sh --quick          # 20 seeds, the CTest `soak` gate
+#   tools/run_soak.sh --seeds 200      # a longer overnight soak
+#   tools/run_soak.sh --only-seed 1042 # replay one failing seed
+#
+# Every failing seed prints a one-line replay recipe; exit code is non-zero
+# iff any seed failed.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+ARGS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick)
+      ARGS+=(--seeds 20)
+      shift
+      ;;
+    --seeds|--base-seed|--only-seed)
+      ARGS+=("$1" "$2")
+      shift 2
+      ;;
+    --verbose)
+      ARGS+=(--verbose)
+      shift
+      ;;
+    *)
+      echo "usage: $0 [--quick] [--seeds N] [--base-seed B] [--only-seed S] [--verbose]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [[ ! -x "$BUILD_DIR/tools/chaos_soak" ]]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" --target chaos_soak -j >/dev/null
+fi
+
+exec "$BUILD_DIR/tools/chaos_soak" "${ARGS[@]}"
