@@ -12,6 +12,7 @@
 // serialization helpers in odin/seamless.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <functional>
@@ -19,6 +20,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "comm/context.hpp"
@@ -75,8 +77,23 @@ class PendingRecv {
                        "PendingRecv::decode: payload size not a multiple of "
                        "element size");
     std::vector<T> out(env.payload.size() / sizeof(T));
-    std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    // An empty payload has a null data() pointer, and memcpy with a null
+    // source is UB even for size 0 — guard like recv_string does.
+    if (!env.payload.empty()) {
+      std::memcpy(out.data(), env.payload.data(), env.payload.size());
+    }
     return out;
+  }
+
+  /// Consuming decode: when the payload is an adopted std::vector<T> that
+  /// this envelope solely owns (the zero-copy move-send fast path), the
+  /// vector is moved straight out — no copy end to end. Falls back to the
+  /// copying decode otherwise.
+  template <class T>
+  static std::vector<T> take(Envelope&& env) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (auto v = env.payload.take_vector<T>()) return std::move(*v);
+    return decode<T>(env);
   }
 
  private:
@@ -87,6 +104,74 @@ class PendingRecv {
   bool consumed_ = false;
 };
 
+/// Handle to a non-blocking send. Eager sends (payload at or below
+/// CommConfig::eager_threshold) complete at post time and return an
+/// already-ready future. Rendezvous sends alias the caller's memory: the
+/// future completes only when every envelope referencing it has been
+/// consumed (received, dropped by fault injection, or replaced by a
+/// corruption clone) — MPI send-completion semantics: ready() means "the
+/// buffer is yours to reuse". Under duplicate injection both copies must
+/// be drained before the future completes.
+class SendFuture {
+ public:
+  SendFuture() = default;  // eager send: nothing outstanding
+
+  bool ready() const { return !state_ || state_->released(); }
+
+  /// Blocks until the buffer is released. Polls the world's failure flags
+  /// so an abort, revocation, or the caller's own fault-injected death
+  /// surfaces as the matching error instead of a hang.
+  void wait() {
+    if (!state_) return;
+    while (!state_->wait_for(std::chrono::milliseconds(25))) {
+      if (ctx_->is_killed(rank_)) {
+        throw RankKilledError(
+            "SendFuture::wait on a killed rank (fault injection)");
+      }
+      if (ctx_->abort_flag().load(std::memory_order_relaxed)) {
+        throw CommError("SendFuture::wait aborted: another rank failed");
+      }
+    }
+  }
+
+ private:
+  friend class Communicator;
+  SendFuture(std::shared_ptr<RendezvousState> state,
+             std::shared_ptr<Context> ctx, int rank)
+      : state_(std::move(state)), ctx_(std::move(ctx)), rank_(rank) {}
+
+  std::shared_ptr<RendezvousState> state_;
+  std::shared_ptr<Context> ctx_;
+  int rank_ = -1;
+};
+
+/// Completion state shared between a non-blocking collective's state
+/// machine (owned by the communicator's progress list) and the CollFuture
+/// the caller holds.
+struct NbCollState {
+  std::atomic<bool> done{false};
+};
+
+/// Handle to a non-blocking collective (ibarrier/iallreduce). The
+/// operation only advances inside Communicator::progress(), GHEX-style;
+/// wait() drives progress() until completion and honours the configured
+/// receive deadline.
+class CollFuture {
+ public:
+  CollFuture() = default;
+  bool ready() const {
+    return !state_ || state_->done.load(std::memory_order_acquire);
+  }
+  void wait();  // defined after Communicator (drives progress())
+
+ private:
+  friend class Communicator;
+  CollFuture(std::shared_ptr<NbCollState> state, Communicator* comm)
+      : state_(std::move(state)), comm_(comm) {}
+  std::shared_ptr<NbCollState> state_;
+  Communicator* comm_ = nullptr;
+};
+
 class Communicator {
  public:
   Communicator(std::shared_ptr<Context> ctx, int rank)
@@ -94,6 +179,25 @@ class Communicator {
     require<CommError>(rank_ >= 0 && rank_ < ctx_->size(),
                        "Communicator: rank out of range");
   }
+
+  // Copies share the world but not the posted non-blocking operations:
+  // those belong to the handle that posted them (its progress() loop is
+  // the only driver holding their futures).
+  Communicator(const Communicator& other)
+      : ctx_(other.ctx_),
+        rank_(other.rank_),
+        seq_(other.seq_),
+        coll_deadline_(other.coll_deadline_) {}
+  Communicator& operator=(const Communicator& other) {
+    ctx_ = other.ctx_;
+    rank_ = other.rank_;
+    seq_ = other.seq_;
+    coll_deadline_ = other.coll_deadline_;
+    posted_.clear();
+    return *this;
+  }
+  Communicator(Communicator&&) = default;
+  Communicator& operator=(Communicator&&) = default;
 
   int rank() const { return rank_; }
   int size() const { return ctx_->size(); }
@@ -121,7 +225,7 @@ class Communicator {
                     int tag = kAnyTag) {
     Envelope env = pop(source, tag);
     Status st{env.source, env.tag, env.payload.size()};
-    out = std::move(env.payload);
+    out = env.payload.take_bytes();
     auto& s = stats();
     ++s.p2p_messages_received;
     s.p2p_bytes_received += st.bytes;
@@ -143,9 +247,33 @@ class Communicator {
     }
   }
 
-  /// Non-blocking probe.
+  /// Non-blocking probe. Same failure semantics as probe(): a killed or
+  /// revoked caller throws instead of polling forever, an aborted world
+  /// surfaces the refined error (DeadlockError when the watchdog fired),
+  /// and a specific dead peer with nothing queued throws PeerKilledError —
+  /// previously iprobe bypassed all of this and returned nullopt, so a
+  /// poll loop over a dead peer spun until the watchdog killed the world.
   std::optional<Status> iprobe(int source = kAnySource, int tag = kAnyTag) {
-    return ctx_->mailbox(rank_).try_probe(source, tag);
+    if (ctx_->is_killed(rank_)) {
+      throw RankKilledError("iprobe on a killed rank (fault injection)");
+    }
+    if (ctx_->is_revoked()) {
+      throw RevokedError("iprobe on a revoked communicator");
+    }
+    // Match first: a message the peer sent before dying is still
+    // deliverable, exactly like the blocking probe's mailbox scan.
+    auto st = ctx_->mailbox(rank_).try_probe(source, tag);
+    if (st.has_value()) return st;
+    if (source != kAnySource && source != rank_ && ctx_->is_killed(source)) {
+      throw PeerKilledError(
+          source, util::cat("iprobe: peer rank ", source,
+                            " was killed (fault injection)"));
+    }
+    if (ctx_->abort_flag().load(std::memory_order_relaxed)) {
+      if (ctx_->deadlocked()) throw DeadlockError(ctx_->deadlock_report());
+      throw CommError("iprobe aborted: another rank failed");
+    }
+    return std::nullopt;
   }
 
   // ---- point-to-point: typed ------------------------------------------
@@ -154,6 +282,18 @@ class Communicator {
   void send(std::span<const T> data, int dest, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     send_bytes(std::as_bytes(data), dest, tag);
+  }
+
+  /// Zero-copy send: adopts the vector's storage into the envelope instead
+  /// of copying it. A recv_vector<T> on the other side moves the same
+  /// storage back out, so large transfers cost no payload copy at all
+  /// (CommStats::zero_copy_bytes counts them; bytes_copied stays flat).
+  template <class T>
+  void send(std::vector<T>&& data, int dest, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_user_tag(tag);
+    send_buffer(Buffer::adopt(std::move(data)), dest, tag,
+                /*internal=*/false);
   }
 
   template <class T>
@@ -176,7 +316,11 @@ class Communicator {
         util::cat("recv: message of ", env.payload.size(),
                   " bytes does not match buffer of ", buf.size_bytes(),
                   " bytes (source ", env.source, ", tag ", env.tag, ")"));
-    std::memcpy(buf.data(), env.payload.data(), env.payload.size());
+    // Empty payloads carry a null data() pointer; memcpy from (nullptr, 0)
+    // is UB, so guard like recv_string does.
+    if (!env.payload.empty()) {
+      std::memcpy(buf.data(), env.payload.data(), env.payload.size());
+    }
     return Status{env.source, env.tag, env.payload.size()};
   }
 
@@ -192,7 +336,7 @@ class Communicator {
     if (status_out != nullptr) {
       *status_out = Status{env.source, env.tag, env.payload.size()};
     }
-    return PendingRecv::decode<T>(env);
+    return PendingRecv::take<T>(std::move(env));
   }
 
   template <class T>
@@ -227,7 +371,7 @@ class Communicator {
                            int source = kAnySource, int tag = kAnyTag) {
     Envelope env = pop(source, tag, timeout);
     Status st{env.source, env.tag, env.payload.size()};
-    out = std::move(env.payload);
+    out = env.payload.take_bytes();
     auto& s = stats();
     ++s.p2p_messages_received;
     s.p2p_bytes_received += st.bytes;
@@ -264,6 +408,18 @@ class Communicator {
     send_bytes_internal(std::as_bytes(data), dest, tag, /*internal=*/false);
   }
 
+  /// Zero-copy internal send (halo payloads, Import/Export packs).
+  /// Accounting stays ordinary p2p: p2p_bytes_sent records the logical
+  /// volume while bytes_copied stays untouched — the distinction the
+  /// transport-tier benches assert on.
+  template <class T>
+  void send_internal(std::vector<T>&& data, int dest, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_internal_tag(tag);
+    send_buffer(Buffer::adopt(std::move(data)), dest, tag,
+                /*internal=*/false);
+  }
+
   template <class T>
   void send_value_internal(const T& value, int dest, int tag) {
     send_internal(std::span<const T>(&value, 1), dest, tag);
@@ -287,18 +443,97 @@ class Communicator {
   }
 
   // ---- non-blocking -----------------------------------------------------
+  // GHEX-style transport surface: futures for isend/irecv, callbacks
+  // posted to an explicit progress() loop, and non-blocking collectives
+  // (ibarrier/iallreduce) that only advance inside progress().
 
-  /// Eager send: the payload is copied out immediately, so there is nothing
-  /// to wait for; provided for symmetry with MPI-style code.
+  /// Non-blocking send. Payloads at or below CommConfig::eager_threshold
+  /// are copied eagerly (the future is immediately ready); larger ones
+  /// hand off by rendezvous — the envelope aliases `data` and the future
+  /// completes when the receiver releases it, so the caller must keep
+  /// `data` alive and unmodified until then (MPI isend semantics).
   template <class T>
-  void isend(std::span<const T> data, int dest, int tag) {
-    send(data, dest, tag);
+  SendFuture isend(std::span<const T> data, int dest, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_user_tag(tag);
+    return isend_bytes(std::as_bytes(data), dest, tag);
+  }
+
+  /// Internal-tag variant (subsystem protocols above kInternalP2PBase).
+  template <class T>
+  SendFuture isend_internal(std::span<const T> data, int dest, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_internal_tag(tag);
+    return isend_bytes(std::as_bytes(data), dest, tag);
   }
 
   /// Posts a receive; completion is observed through the returned handle.
   PendingRecv irecv(int source = kAnySource, int tag = kAnyTag) {
     check_user_tag_or_any(tag);
     return PendingRecv(this, source, tag);
+  }
+
+  /// Internal-tag variant: lets subsystem protocols (halo exchange,
+  /// split-phase Import) post their receives before compute.
+  PendingRecv irecv_internal(int source, int tag) {
+    check_internal_tag(tag);
+    return PendingRecv(this, source, tag);
+  }
+
+  /// Callback-driven receive: `cb` runs inside a later progress() call on
+  /// this rank's thread once a matching message arrives.
+  using RecvCallback = std::function<void(Envelope)>;
+  void irecv(int source, int tag, RecvCallback cb) {
+    check_user_tag_or_any(tag);
+    posted_.push_back(
+        std::make_unique<CallbackRecvOp>(source, tag, std::move(cb)));
+  }
+
+  /// Drives every posted operation (callback receives and non-blocking
+  /// collectives) one step; returns how many completed in this call.
+  /// Rank-local and non-blocking: call it in a loop, GHEX-style.
+  std::size_t progress() {
+    poll_async_failures();
+    std::size_t completed = 0;
+    for (std::size_t i = 0; i < posted_.size();) {
+      if (posted_[i]->step(*this)) {
+        posted_.erase(posted_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++completed;
+      } else {
+        ++i;
+      }
+    }
+    return completed;
+  }
+
+  /// Posted operations not yet complete (tests/instrumentation).
+  std::size_t pending_operations() const { return posted_.size(); }
+
+  /// Non-blocking dissemination barrier. Same wire format and sequencing
+  /// as barrier(), advanced only by progress()/wait().
+  CollFuture ibarrier() {
+    obs::Span span = coll_span("ibarrier", 0);
+    auto state = std::make_shared<NbCollState>();
+    posted_.push_back(std::make_unique<IBarrierOp>(*this, state));
+    return CollFuture(std::move(state), this);
+  }
+
+  /// Non-blocking allreduce (recursive doubling with the same
+  /// non-power-of-two fold/fan-back as the blocking path). `in`/`out`
+  /// must stay alive until the future completes; `out` must be sized like
+  /// `in` on every rank.
+  template <class T, class Op>
+  CollFuture iallreduce(std::span<const T> in, std::span<T> out, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require<CommError>(out.size() == in.size(),
+                       "iallreduce: output span has wrong size");
+    obs::Span span = coll_span("iallreduce", in.size_bytes(),
+                               CollectiveAlgo::kRecursiveDoubling);
+    note_algo(CollectiveAlgo::kRecursiveDoubling);
+    auto state = std::make_shared<NbCollState>();
+    posted_.push_back(
+        std::make_unique<IAllreduceOp<T, Op>>(*this, in, out, op, state));
+    return CollFuture(std::move(state), this);
   }
 
   // ---- collectives ------------------------------------------------------
@@ -1039,6 +1274,41 @@ class Communicator {
     return recvparts;
   }
 
+  /// Zero-copy alltoallv: consumes the send parts, moving each one into
+  /// its envelope instead of copying — the shuffle primitive's payloads
+  /// travel by pointer swap end to end (receivers move them back out via
+  /// the take() fast path). Linear schedule only: every part must be moved
+  /// before any blocking receive so sends stay non-blocking.
+  template <class T>
+  std::vector<std::vector<T>> alltoallv(
+      std::vector<std::vector<T>>&& sendparts) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = size();
+    require<CommError>(sendparts.size() == static_cast<std::size_t>(p),
+                       "alltoallv: need one part per destination rank");
+    std::size_t send_bytes = 0;
+    for (const auto& part : sendparts) send_bytes += part.size() * sizeof(T);
+    obs::Span span = coll_span("alltoallv", send_bytes,
+                               CollectiveAlgo::kLinear);
+    CollectiveDeadline deadline_guard(*this);
+    note_algo(CollectiveAlgo::kLinear);
+    const std::uint64_t seq = next_seq();
+    std::vector<std::vector<T>> recvparts(static_cast<std::size_t>(p));
+    recvparts[static_cast<std::size_t>(rank_)] =
+        std::move(sendparts[static_cast<std::size_t>(rank_)]);
+    for (int r = 0; r < p; ++r) {
+      if (r == rank_) continue;
+      coll_send_vec(std::move(sendparts[static_cast<std::size_t>(r)]), r,
+                    coll_tag(seq, 0));
+    }
+    for (int r = 0; r < p; ++r) {
+      if (r == rank_) continue;
+      recvparts[static_cast<std::size_t>(r)] =
+          coll_recv_variable<T>(r, coll_tag(seq, 0));
+    }
+    return recvparts;
+  }
+
   /// Splits the communicator by colour; ranks sharing a colour form a child
   /// communicator ordered by (key, parent rank). MPI_Comm_split analogue.
   Communicator split(int color, int key);
@@ -1147,8 +1417,12 @@ class Communicator {
     return env;
   }
 
-  void send_bytes_internal(std::span<const std::byte> data, int dest, int tag,
-                           bool internal) {
+  /// The send core every path funnels through: validates the destination
+  /// and this rank's liveness, books the *logical* message volume into the
+  /// p2p/coll counters (zero-copy and copied sends report the same logical
+  /// bytes — `bytes_copied` separately tracks the physical copies), and
+  /// hands the envelope to Context::deliver.
+  void send_buffer(Buffer payload, int dest, int tag, bool internal) {
     require<CommError>(dest >= 0 && dest < size(),
                        util::cat("send: destination rank ", dest,
                                  " out of range [0, ", size(), ")"));
@@ -1160,23 +1434,264 @@ class Communicator {
     if (ctx_->is_revoked()) {
       throw RevokedError("send on a revoked communicator");
     }
-    Envelope env;
-    env.source = rank_;
-    env.tag = tag;
-    env.payload.assign(data.begin(), data.end());
     auto& s = stats();
     if (internal) {
       ++s.coll_messages_sent;
-      s.coll_bytes_sent += data.size();
+      s.coll_bytes_sent += payload.size();
     } else {
       ++s.p2p_messages_sent;
-      s.p2p_bytes_sent += data.size();
+      s.p2p_bytes_sent += payload.size();
     }
+    if (payload.zero_copy()) {
+      ++s.zero_copy_messages;
+      s.zero_copy_bytes += payload.size();
+    }
+    Envelope env;
+    env.source = rank_;
+    env.tag = tag;
+    env.payload = std::move(payload);
     ctx_->deliver(dest, std::move(env));
+  }
+
+  /// Eager copying send: the payload is copied out immediately (pooled
+  /// arena block when it fits, heap otherwise), so the caller's buffer is
+  /// free the moment this returns — sends never block, which the
+  /// collectives' deadlock-freedom depends on.
+  void send_bytes_internal(std::span<const std::byte> data, int dest, int tag,
+                           bool internal) {
+    bool pooled = false;
+    Buffer payload = Buffer::copy_of(data, &ctx_->arena(), &pooled);
+    auto& s = stats();
+    s.bytes_copied += data.size();
+    if (!data.empty() && data.size() <= ctx_->arena().block_bytes()) {
+      if (pooled) {
+        ++s.arena_hits;
+      } else {
+        ++s.arena_misses;
+      }
+    }
+    send_buffer(std::move(payload), dest, tag, internal);
+  }
+
+  /// Non-blocking send core: eager copy at or below the threshold (the
+  /// returned future is already ready), rendezvous above it (the envelope
+  /// aliases `data`; the future completes when every reference — including
+  /// fault-injected duplicates — has been released).
+  SendFuture isend_bytes(std::span<const std::byte> data, int dest, int tag) {
+    if (data.size() <= ctx_->config().eager_threshold) {
+      send_bytes_internal(data, dest, tag, /*internal=*/false);
+      return SendFuture();
+    }
+    ++stats().rendezvous;
+    auto handoff = std::make_shared<RendezvousState>();
+    send_buffer(Buffer::view(data, handoff), dest, tag, /*internal=*/false);
+    return SendFuture(std::move(handoff), ctx_, rank_);
   }
 
   void coll_send(std::span<const std::byte> data, int dest, int tag) {
     send_bytes_internal(data, dest, tag, /*internal=*/true);
+  }
+
+  /// Zero-copy collective-internal send: moves an rvalue vector into the
+  /// envelope instead of copying it (the moved alltoallv under ODIN's
+  /// shuffle and the Import's owned staging buffers use this).
+  template <class T>
+  void coll_send_vec(std::vector<T>&& data, int dest, int tag) {
+    send_buffer(Buffer::adopt(std::move(data)), dest, tag, /*internal=*/true);
+  }
+
+  // ---- non-blocking operation state machines -----------------------------
+  // Each posted operation is a small state machine advanced by progress();
+  // step() returns true when the operation is complete. They use only
+  // non-blocking mailbox primitives, so progress() never blocks.
+
+  struct NbOp {
+    virtual ~NbOp() = default;
+    virtual bool step(Communicator& comm) = 0;
+  };
+
+  struct CallbackRecvOp final : NbOp {
+    CallbackRecvOp(int source, int tag, RecvCallback cb)
+        : source_(source), tag_(tag), cb_(std::move(cb)) {}
+    bool step(Communicator& comm) override {
+      auto env =
+          comm.ctx_->mailbox(comm.rank_).try_pop_matching(source_, tag_);
+      if (!env.has_value()) return false;
+      comm.verify_integrity(*env);
+      auto& s = comm.stats();
+      ++s.p2p_messages_received;
+      s.p2p_bytes_received += env->payload.size();
+      cb_(std::move(*env));
+      return true;
+    }
+    int source_;
+    int tag_;
+    RecvCallback cb_;
+  };
+
+  /// Dissemination barrier, one round per step: at round k, notify rank
+  /// (me + 2^k) and wait for rank (me - 2^k). Same deadlock-free structure
+  /// as the blocking barrier, but each round's receive is a try_pop so the
+  /// whole machine lives inside progress().
+  struct IBarrierOp final : NbOp {
+    IBarrierOp(Communicator& comm, std::shared_ptr<NbCollState> state)
+        : seq_(comm.next_seq()), state_(std::move(state)) {}
+    bool step(Communicator& comm) override {
+      const int p = comm.size();
+      while (round_ < rounds_needed(p)) {
+        const int dist = 1 << round_;
+        if (!sent_) {
+          comm.coll_send({}, (comm.rank_ + dist) % p, comm.coll_tag(seq_, round_));
+          sent_ = true;
+        }
+        const int src = (comm.rank_ - dist % p + p) % p;
+        auto env = comm.ctx_->mailbox(comm.rank_).try_pop_matching(
+            src, comm.coll_tag(seq_, round_));
+        if (!env.has_value()) return false;
+        comm.verify_integrity(*env);
+        ++comm.stats().coll_messages_received;
+        ++round_;
+        sent_ = false;
+      }
+      state_->done.store(true, std::memory_order_release);
+      return true;
+    }
+    static int rounds_needed(int p) {
+      int rounds = 0;
+      for (int dist = 1; dist < p; dist <<= 1) ++rounds;
+      return rounds;
+    }
+    std::uint64_t seq_;
+    std::shared_ptr<NbCollState> state_;
+    int round_ = 0;
+    bool sent_ = false;
+  };
+
+  /// Non-blocking allreduce by recursive doubling, with the same
+  /// non-power-of-two fold/fan-back as the blocking path: extra ranks fold
+  /// their vector into a pof2 partner up front and receive the result back
+  /// at the end.
+  template <class T, class Op>
+  struct IAllreduceOp final : NbOp {
+    IAllreduceOp(Communicator& comm, std::span<const T> in, std::span<T> out,
+                 Op op, std::shared_ptr<NbCollState> state)
+        : seq_(comm.next_seq()),
+          out_(out),
+          op_(op),
+          state_(std::move(state)) {
+      std::copy(in.begin(), in.end(), out_.begin());
+      pof2_ = 1;
+      while (pof2_ * 2 <= comm.size()) pof2_ *= 2;
+      rem_ = comm.size() - pof2_;
+    }
+    bool step(Communicator& comm) override {
+      const int r = comm.rank_;
+      // Stage 0 — fold-in: ranks [pof2, p) send to (rank - pof2) and then
+      // just wait for the fan-back; their partners fold the contribution.
+      if (stage_ == 0) {
+        if (r >= pof2_) {
+          if (!sent_) {
+            comm.coll_send(std::as_bytes(std::span<const T>(out_)), r - pof2_,
+                           comm.coll_tag(seq_, 0));
+            sent_ = true;
+          }
+          stage_ = 2;  // skip the core; wait for fan-back
+          sent_ = false;
+        } else if (r < rem_) {
+          if (!try_recv_combine(comm, r + pof2_, comm.coll_tag(seq_, 0))) {
+            return false;
+          }
+          stage_ = 1;
+          sent_ = false;
+        } else {
+          stage_ = 1;
+          sent_ = false;
+        }
+      }
+      // Stage 1 — recursive doubling among the pof2 core ranks.
+      if (stage_ == 1) {
+        while (mask_ < pof2_) {
+          const int dst = r ^ mask_;
+          const int phase = 1 + phase_of(mask_);
+          if (!sent_) {
+            comm.coll_send(std::as_bytes(std::span<const T>(out_)), dst,
+                           comm.coll_tag(seq_, phase));
+            sent_ = true;
+          }
+          if (!try_recv_combine(comm, dst, comm.coll_tag(seq_, phase))) {
+            return false;
+          }
+          mask_ <<= 1;
+          sent_ = false;
+        }
+        stage_ = 2;
+      }
+      // Stage 2 — fan-back to/from the folded-in extra ranks.
+      if (r < rem_) {
+        comm.coll_send(std::as_bytes(std::span<const T>(out_)), r + pof2_,
+                       comm.coll_tag(seq_, 1 + phase_of(pof2_)));
+      } else if (r >= pof2_) {
+        auto env = comm.ctx_->mailbox(comm.rank_).try_pop_matching(
+            r - pof2_, comm.coll_tag(seq_, 1 + phase_of(pof2_)));
+        if (!env.has_value()) return false;
+        comm.verify_integrity(*env);
+        auto& s = comm.stats();
+        ++s.coll_messages_received;
+        s.coll_bytes_received += env->payload.size();
+        require<CommError>(env->payload.size() == out_.size() * sizeof(T),
+                           "iallreduce: unexpected message size");
+        if (!env->payload.empty()) {
+          std::memcpy(out_.data(), env->payload.data(), env->payload.size());
+        }
+      }
+      state_->done.store(true, std::memory_order_release);
+      return true;
+    }
+
+   private:
+    bool try_recv_combine(Communicator& comm, int src, int tag) {
+      auto env = comm.ctx_->mailbox(comm.rank_).try_pop_matching(src, tag);
+      if (!env.has_value()) return false;
+      comm.verify_integrity(*env);
+      auto& s = comm.stats();
+      ++s.coll_messages_received;
+      s.coll_bytes_received += env->payload.size();
+      require<CommError>(env->payload.size() == out_.size() * sizeof(T),
+                         "iallreduce: unexpected message size");
+      std::vector<T> incoming(out_.size());
+      if (!env->payload.empty()) {
+        std::memcpy(incoming.data(), env->payload.data(),
+                    env->payload.size());
+      }
+      combine(out_, std::span<const T>(incoming), op_);
+      return true;
+    }
+
+    std::uint64_t seq_;
+    std::span<T> out_;
+    Op op_;
+    std::shared_ptr<NbCollState> state_;
+    int pof2_ = 1;
+    int rem_ = 0;
+    int stage_ = 0;
+    int mask_ = 1;
+    bool sent_ = false;
+  };
+
+  /// Failure poll for the non-blocking paths: progress() and
+  /// CollFuture::wait() call it so a fault-injected death, revocation, or
+  /// world abort surfaces as the matching error instead of silent stalls.
+  void poll_async_failures() {
+    if (ctx_->is_killed(rank_)) {
+      throw RankKilledError("progress on a killed rank (fault injection)");
+    }
+    if (ctx_->is_revoked()) {
+      throw RevokedError("progress on a revoked communicator");
+    }
+    if (ctx_->abort_flag().load(std::memory_order_relaxed)) {
+      if (ctx_->deadlocked()) throw DeadlockError(ctx_->deadlock_report());
+      throw CommError("progress aborted: another rank failed");
+    }
   }
 
   /// RAII deadline budget for one collective call: the outermost
@@ -1255,7 +1770,13 @@ class Communicator {
     s.coll_bytes_received += env.payload.size();
     require<CommError>(env.payload.size() == buf.size(),
                        "collective recv: unexpected message size");
-    std::memcpy(buf.data(), env.payload.data(), env.payload.size());
+    // This is the gatherv/coll decode path of the empty-payload audit: an
+    // empty contribution (legal in gatherv and the variable collectives)
+    // arrives with payload.data() == nullptr, and memcpy with a null
+    // source is UB even for size 0.
+    if (!env.payload.empty()) {
+      std::memcpy(buf.data(), env.payload.data(), env.payload.size());
+    }
   }
 
   void coll_recv_any_size(int source, int tag) {
@@ -1271,7 +1792,7 @@ class Communicator {
     auto& s = stats();
     ++s.coll_messages_received;
     s.coll_bytes_received += env.payload.size();
-    return PendingRecv::decode<T>(env);
+    return PendingRecv::take<T>(std::move(env));
   }
 
   // Concatenating allgather used by allgatherv once counts are known.
@@ -1511,7 +2032,35 @@ class Communicator {
   /// Deadline shared by every phase of the collective currently in flight
   /// on this rank; the epoch value means "no collective deadline armed".
   std::chrono::steady_clock::time_point coll_deadline_{};
+  /// Posted non-blocking operations (callback receives, ibarrier,
+  /// iallreduce), advanced by progress(). Rank-local: each rank drives its
+  /// own list from its own thread.
+  std::vector<std::unique_ptr<NbOp>> posted_;
+
+  friend class CollFuture;
 };
+
+/// Drives progress() until the collective completes; bounded by the
+/// configured receive deadline (zero = wait forever), with the same
+/// failure refinement as the blocking collectives.
+inline void CollFuture::wait() {
+  if (ready()) return;
+  const auto budget = comm_->ctx_->config().recv_timeout;
+  const auto deadline = budget.count() > 0
+                            ? std::chrono::steady_clock::now() + budget
+                            : std::chrono::steady_clock::time_point::max();
+  while (!ready()) {
+    comm_->progress();
+    if (ready()) return;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ++comm_->stats().timeouts;
+      throw RecvTimeoutError(util::cat(
+          "non-blocking collective exceeded its ", budget.count(),
+          " ms deadline"));
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
 
 inline bool PendingRecv::ready() {
   if (captured_.has_value()) return true;

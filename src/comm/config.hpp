@@ -86,6 +86,20 @@ struct CommConfig {
   /// means no injection. Not inherited by split() children: rules address
   /// ranks of the context they are installed in.
   std::shared_ptr<FaultInjector> injector;
+
+  /// Transport-tier switch point: isend payloads at or below this many
+  /// bytes are copied eagerly (the future completes immediately); larger
+  /// ones hand off by rendezvous — the envelope aliases the caller's
+  /// memory and the SendFuture completes only when the receiver has let
+  /// go of it. Blocking sends always stay eager regardless of size (the
+  /// collectives' deadlock-freedom depends on sends never blocking).
+  std::size_t eager_threshold = 8192;
+
+  /// Pooled-buffer arena geometry for small eager copies: block size in
+  /// bytes and the maximum number of free blocks kept for reuse. Payloads
+  /// larger than one block fall through to heap storage.
+  std::size_t arena_block_bytes = 8192;
+  std::size_t arena_max_blocks = 64;
 };
 
 }  // namespace pyhpc::comm

@@ -10,7 +10,9 @@
 
 namespace pyhpc::comm {
 
-Context::Context(int nranks, CommConfig config) : config_(std::move(config)) {
+Context::Context(int nranks, CommConfig config)
+    : config_(std::move(config)),
+      arena_(config_.arena_block_bytes, config_.arena_max_blocks) {
   require(nranks >= 1, "Context: need at least one rank");
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int i = 0; i < nranks; ++i) {
@@ -85,10 +87,18 @@ void Context::deliver(int dest, Envelope env) {
         case FaultKind::kCorrupt:
           // Flip payload bits *after* checksumming so the receiver detects
           // the damage; empty payloads get their checksum flipped instead.
+          // Zero-copy payloads share bytes with the sender (and with any
+          // duplicate already queued), so tampering must clone first —
+          // mutating in place would corrupt live sender data, not just
+          // this delivery.
           if (env.payload.empty()) {
             env.checksum = ~env.checksum;
           } else {
-            env.payload[env.payload.size() / 2] ^= std::byte{0xFF};
+            Buffer tampered = Buffer::copy_of(
+                std::span<const std::byte>(env.payload.data(),
+                                           env.payload.size()));
+            tampered.mutable_data()[tampered.size() / 2] ^= std::byte{0xFF};
+            env.payload = std::move(tampered);
           }
           break;
         case FaultKind::kKillRank:

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/buffer.hpp"
 #include "comm/config.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/stats.hpp"
@@ -31,6 +32,11 @@ class Context {
   Mailbox& mailbox(int rank);
 
   CommStats& stats(int rank);
+
+  /// Shared pooled arena serving every rank's small eager copies (the
+  /// blocks are thread-safe ref-counted, so sharing one pool across rank
+  /// threads is safe and maximizes reuse).
+  BufferArena& arena() { return arena_; }
 
   /// The single choke point every send funnels through: stamps the
   /// integrity checksum, consults the fault injector, filters traffic
@@ -106,6 +112,7 @@ class Context {
 
  private:
   CommConfig config_;
+  BufferArena arena_;  // declared before the mailboxes that hold its blocks
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<CommStats> stats_;
   std::atomic<bool> aborted_{false};

@@ -7,7 +7,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+
+#include "comm/buffer.hpp"
 
 namespace pyhpc::comm {
 
@@ -34,6 +35,12 @@ inline constexpr int kInternalP2PBase = kMaxUserTag + kCollTagSpan;
 /// (odin::shifted_diff / shift).
 inline constexpr int kHaloTag = kInternalP2PBase + 0;
 
+/// Reserved internal tag for split-phase tpetra Import/Export payloads
+/// (Import::begin_apply / finish). Safe to share across plan instances:
+/// applications are collective (same program order on every rank) and
+/// per-(source, dest) delivery is FIFO.
+inline constexpr int kImportTag = kInternalP2PBase + 1;
+
 /// Delivery metadata returned by recv/probe (MPI_Status analogue).
 struct Status {
   int source = kAnySource;
@@ -41,10 +48,13 @@ struct Status {
   std::size_t bytes = 0;
 };
 
-/// One in-flight message. Sends are always eager/buffered: the payload is
-/// copied into the envelope at send time, so a send never blocks on the
-/// receiver (mirrors MPI's eager protocol for small messages and removes
-/// send-side deadlock by construction).
+/// One in-flight message. Blocking sends are always eager/buffered — the
+/// payload lands in transport storage at send time, so a send never blocks
+/// on the receiver (mirrors MPI's eager protocol and removes send-side
+/// deadlock by construction). "Buffered" no longer implies "copied": the
+/// payload is a ref-counted Buffer, so moved (adopt) and rendezvous (view)
+/// sends share the sender's bytes instead of duplicating them, and a
+/// fault-injected duplicate shares the original's storage.
 ///
 /// `checksum` is stamped by Context::deliver over (source, tag, payload);
 /// receivers verify it before decoding so injected (or real) corruption
@@ -53,7 +63,7 @@ struct Envelope {
   int source = 0;
   int tag = 0;
   std::uint64_t checksum = 0;
-  std::vector<std::byte> payload;
+  Buffer payload;
 };
 
 /// FNV-1a over the delivery-relevant envelope fields. Cheap (one pass over
@@ -70,8 +80,10 @@ inline std::uint64_t envelope_checksum(const Envelope& env) {
   mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(env.source)));
   mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(env.tag)));
   mix(env.payload.size());
-  for (std::byte b : env.payload) {
-    h ^= static_cast<std::uint64_t>(b);
+  const std::byte* p = env.payload.data();
+  const std::byte* end = p + env.payload.size();  // p == end when empty
+  for (; p != end; ++p) {
+    h ^= static_cast<std::uint64_t>(*p);
     h *= 1099511628211ULL;
   }
   return h;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <optional>
 
 #include "odin/dist_array.hpp"
 #include "odin/shape.hpp"
@@ -137,17 +138,17 @@ DistArray<T> shifted_diff(const DistArray<T>& a) {
 
   // The halo exchange runs on the reserved internal tag (comm::kHaloTag):
   // a user tag here would collide with unrelated application traffic on
-  // the same tag and silently cross-match.
+  // the same tag and silently cross-match. Overlap structure: post the
+  // halo receive first, send our own boundary value, run the interior
+  // stencil while the halo is in flight, and fill the boundary element
+  // last.
+  std::optional<comm::PendingRecv> halo_recv;
+  if (my_count > 0 && next_with_data >= 0) {
+    halo_recv.emplace(comm.irecv_internal(next_with_data, comm::kHaloTag));
+  }
   if (my_count > 0 && prev_with_data >= 0) {
     comm.send_value_internal(a.local_view()[0], prev_with_data,
                              comm::kHaloTag);
-  }
-  T halo{};
-  bool have_halo = false;
-  if (my_count > 0 && next_with_data >= 0) {
-    halo = comm.template recv_value_internal<T>(next_with_data,
-                                                comm::kHaloTag);
-    have_halo = true;
   }
 
   // Local output: my_count results when a halo exists, otherwise one fewer
@@ -170,11 +171,26 @@ DistArray<T> shifted_diff(const DistArray<T>& a) {
   auto in = a.local_view();
   auto view = out.local_view();
   const index_t out_n = static_cast<index_t>(view.size());
-  for (index_t k = 0; k + 1 < my_count; ++k) {
-    view[static_cast<std::size_t>(k)] =
-        in[static_cast<std::size_t>(k) + 1] - in[static_cast<std::size_t>(k)];
+  {
+    obs::Span span("shifted_diff.overlap", "odin");
+    if (span.active()) {
+      span.arg("interior", static_cast<std::int64_t>(
+                               my_count > 0 ? my_count - 1 : 0));
+      span.arg("halo", static_cast<std::int64_t>(halo_recv ? 1 : 0));
+    }
+    const T* inp = in.data();
+    T* outp = view.data();
+    util::parallel_for(0, my_count > 0 ? my_count - 1 : 0,
+                       util::kDefaultGrain,
+                       [inp, outp](index_t lo, index_t hi) {
+                         for (index_t k = lo; k < hi; ++k) {
+                           outp[k] = inp[k + 1] - inp[k];
+                         }
+                       });
   }
-  if (have_halo && out_n == my_count) {
+  if (halo_recv.has_value() && out_n == my_count) {
+    const T halo =
+        comm::PendingRecv::take<T>(halo_recv->wait()).at(0);
     view[static_cast<std::size_t>(my_count - 1)] =
         halo - in[static_cast<std::size_t>(my_count - 1)];
   }

@@ -7,13 +7,19 @@
 // one-to-one target map, combining contributions — the assembly direction
 // used by finite-element scatter-add.
 //
-// Plans are built once (collective) and applied many times.
+// Plans are built once (collective) and applied many times. The forward
+// application is split-phase (begin_apply/ImportHandle::finish): receives
+// are posted first, sends move their packs zero-copy, and the caller can
+// overlap local compute with the in-flight exchange — the structure SpMV's
+// interior/boundary overlap is built on.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "comm/communicator.hpp"
+#include "comm/message.hpp"
 #include "tpetra/map.hpp"
 
 namespace pyhpc::tpetra {
@@ -22,6 +28,49 @@ namespace pyhpc::tpetra {
 enum class CombineMode {
   kInsert,  // overwrite
   kAdd,     // accumulate
+};
+
+/// In-flight forward Import application: receives are posted, sends are
+/// gone (moved into envelopes), permutes are done. finish() drains the
+/// receives and scatters them into the target vector. Must be finished
+/// before the next communication on the same communicator pair to keep
+/// FIFO tag matching aligned.
+template <class Scalar, class LO>
+class ImportHandle {
+ public:
+  ImportHandle(ImportHandle&&) = default;
+  ImportHandle(const ImportHandle&) = delete;
+  ImportHandle& operator=(const ImportHandle&) = delete;
+
+  /// Blocks until every posted halo receive has arrived and scatters the
+  /// values to their target slots. May be called once; the destructor of
+  /// an unfinished handle requeues the already-arrived messages (see
+  /// PendingRecv), so an exception path does not lose data.
+  void finish() {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      const auto& lids = *recv_lids_[i];
+      std::vector<Scalar> vals =
+          comm::PendingRecv::take<Scalar>(pending_[i].wait());
+      require<CommError>(lids.size() == vals.size(),
+                         "Import::finish: plan/payload size mismatch");
+      for (std::size_t k = 0; k < lids.size(); ++k) {
+        auto& slot = target_[static_cast<std::size_t>(lids[k])];
+        slot = (mode_ == CombineMode::kAdd) ? slot + vals[k] : vals[k];
+      }
+    }
+    pending_.clear();
+  }
+
+ private:
+  template <class L, class G>
+  friend class Import;
+  ImportHandle(std::span<Scalar> target, CombineMode mode)
+      : target_(target), mode_(mode) {}
+
+  std::span<Scalar> target_;
+  CombineMode mode_;
+  std::vector<comm::PendingRecv> pending_;          // one per sending rank
+  std::vector<const std::vector<LO>*> recv_lids_;   // target lids, parallel
 };
 
 template <class LO = std::int32_t, class GO = std::int64_t>
@@ -67,8 +116,9 @@ class Import {
       recv_lids_[static_cast<std::size_t>(owner)].push_back(remote_tlids[i]);
     }
 
-    // Tell each owner which of its local ids we need (collective).
-    auto incoming = source.comm().alltoallv(requests);
+    // Tell each owner which of its local ids we need (collective). The
+    // request packs are dead after this, so move them into the envelopes.
+    auto incoming = source.comm().alltoallv(std::move(requests));
     send_lids_.assign(static_cast<std::size_t>(p), {});
     for (int r = 0; r < p; ++r) {
       for (const auto& req : incoming[static_cast<std::size_t>(r)]) {
@@ -97,13 +147,19 @@ class Import {
     return n;
   }
 
-  /// Applies the plan: target[plan] = source[plan]. Collective.
-  /// `source_values` is indexed by source-map local ids, `target_values`
-  /// by target-map local ids.
+  /// Starts a forward application: posts one receive per sending neighbour
+  /// first (so arriving packs land in pre-posted handles instead of
+  /// queueing behind compute), then moves one pack per receiving neighbour
+  /// into its envelope zero-copy, then handles the local permutes. The
+  /// remote values are scattered by ImportHandle::finish(); between begin
+  /// and finish the caller is free to compute on anything that does not
+  /// need them. Neighbour-only p2p on a reserved tag: ranks with no
+  /// overlap exchange nothing (the old all-to-all schedule posted O(p)
+  /// messages per rank regardless).
   template <class Scalar>
-  void apply(std::span<const Scalar> source_values,
-             std::span<Scalar> target_values,
-             CombineMode mode = CombineMode::kInsert) const {
+  ImportHandle<Scalar, LO> begin_apply(
+      std::span<const Scalar> source_values, std::span<Scalar> target_values,
+      CombineMode mode = CombineMode::kInsert) const {
     require(source_values.size() ==
                 static_cast<std::size_t>(source_.num_local()),
             "Import::apply: source size mismatch");
@@ -111,33 +167,41 @@ class Import {
                 static_cast<std::size_t>(target_.num_local()),
             "Import::apply: target size mismatch");
     const int p = source_.comm().size();
+    auto& comm = source_.comm();
 
-    std::vector<std::vector<Scalar>> outgoing(static_cast<std::size_t>(p));
+    ImportHandle<Scalar, LO> handle(target_values, mode);
+    for (int r = 0; r < p; ++r) {
+      const auto& lids = recv_lids_[static_cast<std::size_t>(r)];
+      if (lids.empty()) continue;
+      handle.pending_.push_back(comm.irecv_internal(r, comm::kImportTag));
+      handle.recv_lids_.push_back(&lids);
+    }
     for (int r = 0; r < p; ++r) {
       const auto& lids = send_lids_[static_cast<std::size_t>(r)];
-      auto& pack = outgoing[static_cast<std::size_t>(r)];
+      if (lids.empty()) continue;
+      std::vector<Scalar> pack;
       pack.reserve(lids.size());
       for (LO lid : lids) {
         pack.push_back(source_values[static_cast<std::size_t>(lid)]);
       }
+      comm.send_internal(std::move(pack), r, comm::kImportTag);
     }
-    auto incoming = source_.comm().alltoallv(outgoing);
-
     for (std::size_t i = 0; i < permute_src_.size(); ++i) {
       auto& slot = target_values[static_cast<std::size_t>(permute_dst_[i])];
       const Scalar v = source_values[static_cast<std::size_t>(permute_src_[i])];
       slot = (mode == CombineMode::kAdd) ? slot + v : v;
     }
-    for (int r = 0; r < p; ++r) {
-      const auto& lids = recv_lids_[static_cast<std::size_t>(r)];
-      const auto& vals = incoming[static_cast<std::size_t>(r)];
-      require<CommError>(lids.size() == vals.size(),
-                         "Import::apply: plan/payload size mismatch");
-      for (std::size_t i = 0; i < lids.size(); ++i) {
-        auto& slot = target_values[static_cast<std::size_t>(lids[i])];
-        slot = (mode == CombineMode::kAdd) ? slot + vals[i] : vals[i];
-      }
-    }
+    return handle;
+  }
+
+  /// Applies the plan: target[plan] = source[plan]. Collective.
+  /// `source_values` is indexed by source-map local ids, `target_values`
+  /// by target-map local ids.
+  template <class Scalar>
+  void apply(std::span<const Scalar> source_values,
+             std::span<Scalar> target_values,
+             CombineMode mode = CombineMode::kInsert) const {
+    begin_apply(source_values, target_values, mode).finish();
   }
 
   /// Runs the plan backwards: values indexed by the *target* (overlapping)
@@ -166,7 +230,7 @@ class Import {
         pack.push_back(overlapping_values[static_cast<std::size_t>(lid)]);
       }
     }
-    auto incoming = source_.comm().alltoallv(outgoing);
+    auto incoming = source_.comm().alltoallv(std::move(outgoing));
 
     for (std::size_t i = 0; i < permute_src_.size(); ++i) {
       auto& slot = owned_values[static_cast<std::size_t>(permute_src_[i])];

@@ -1,9 +1,11 @@
 // Chaos soak driver: many seeded fault schedules against the recovery
 // stack. Each seed deterministically derives a scenario mix — collective
-// storms under delay/duplicate noise, and resilient CG runs with a drop,
-// delay, or kill rule armed mid-solve — and asserts exact values (storms)
-// or the solution oracle (solves). Any seed that fails prints a one-line
-// replay recipe.
+// storms under delay/duplicate noise, resilient CG runs with a drop,
+// delay, or kill rule armed mid-solve, and zero-copy transport pipelines
+// (moved sends, rendezvous handoffs, split-phase SpMV overlap) under the
+// same noise — and asserts exact values (storms, pipelines) or the
+// solution oracle (solves). Any seed that fails prints a one-line replay
+// recipe.
 //
 //   chaos_soak [--seeds N] [--base-seed B] [--only-seed S] [--verbose]
 //
@@ -167,6 +169,79 @@ void resilient_cg(std::uint64_t seed) {
   });
 }
 
+// Scenario C: zero-copy pipeline — moved-vector ring shifts, rendezvous
+// isends (the eager threshold is dropped to 64 bytes so every ring payload
+// takes the handoff path), and the split-phase SpMV halo overlap, all under
+// delay/duplicate noise with exact value assertions.
+void zero_copy_pipeline(std::uint64_t seed) {
+  pu::SplitMix64 rng(seed);
+  auto inj = std::make_shared<pc::FaultInjector>(seed);
+  const int nranks = 2 + static_cast<int>(rng.next() % 4);  // 2..5
+  {
+    pc::FaultRule delay;
+    delay.kind = pc::FaultKind::kDelay;
+    delay.source = static_cast<int>(rng.next() % nranks);
+    delay.delay = std::chrono::milliseconds(1 + rng.next() % 8);
+    delay.probability = 0.10;
+    inj->add_rule(delay);
+    pc::FaultRule dup;
+    dup.kind = pc::FaultKind::kDuplicate;
+    dup.source = static_cast<int>(rng.next() % nranks);
+    dup.probability = 0.15;
+    inj->add_rule(dup);
+  }
+  const int rounds = 10 + static_cast<int>(rng.next() % 10);
+  pc::CommConfig cfg;
+  cfg.injector = inj;
+  cfg.recv_timeout = 5000ms;
+  cfg.eager_threshold = 64;
+  pc::run(nranks, cfg, [&](pc::Communicator& comm) {
+    const int p = comm.size();
+    const int next = (comm.rank() + 1) % p;
+    const int prev = (comm.rank() + p - 1) % p;
+    for (int i = 0; i < rounds; ++i) {
+      // Fresh tags per round: a duplicated envelope must never be matched
+      // by the next round's receive.
+      const int ring_tag = 100 + 2 * i;
+      const int rv_tag = 101 + 2 * i;
+      std::vector<int> ring(32, comm.rank() * 1000 + i);
+      comm.send(std::move(ring), next, ring_tag);
+      auto got = comm.recv_vector<int>(prev, ring_tag);
+      check(got.size() == 32 && got.front() == prev * 1000 + i &&
+                got.back() == prev * 1000 + i,
+            "zero-copy ring payload drifted");
+      std::vector<double> big(64, 0.5 * i);
+      auto fut = comm.isend(std::span<const double>(big), next, rv_tag);
+      auto rv = comm.recv_vector<double>(prev, rv_tag);
+      // A duplicated rendezvous envelope keeps a live reference to the
+      // sender's buffer until it is drained, so the sender's wait() below
+      // never ends unless we consume the second copy too. The injector
+      // pushes duplicate and original as two separate mailbox pushes, so
+      // probe only after the barrier guarantees every isend has returned
+      // (both pushes done) — probing earlier races with the second push.
+      comm.barrier();
+      while (comm.iprobe(prev, rv_tag)) {
+        (void)comm.recv_vector<double>(prev, rv_tag);
+      }
+      fut.wait();
+      check(rv.size() == 64 && rv[13] == 0.5 * i,
+            "rendezvous payload drifted");
+    }
+    // Split-phase SpMV: the 1D Laplacian applied to ones is zero on the
+    // interior and one at the two global ends.
+    auto map = pt::Map<>::uniform(comm, 64);
+    auto a = laplacian(map);
+    pt::Vector<double> x(map, 1.0), y(map);
+    a.apply(x, y);
+    const std::int64_t n = map.num_global();
+    for (std::int32_t i = 0; i < map.num_local(); ++i) {
+      const auto g = map.local_to_global(i);
+      const double want = (g == 0 || g + 1 == n) ? 1.0 : 0.0;
+      check(std::abs(y[i] - want) < 1e-12, "overlap SpMV value drifted");
+    }
+  });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -197,7 +272,8 @@ int main(int argc, char** argv) {
     void (*fn)(std::uint64_t);
   };
   const Scenario scenarios[] = {{"collective_storm", collective_storm},
-                                {"resilient_cg", resilient_cg}};
+                                {"resilient_cg", resilient_cg},
+                                {"zero_copy_pipeline", zero_copy_pipeline}};
 
   std::vector<Failure> failures;
   int ran = 0;
