@@ -1,0 +1,184 @@
+// F8 — driver-as-a-service (DESIGN.md §10). Measures the service layer's
+// three claims on a 4-rank world (1 driver + 3 workers):
+//
+//  1. Session multiplexing scales: N = {1, 4, 8} concurrent client threads
+//     run a mixed create/axpy/block-solve/reduce workload against one
+//     hardened control plane; the bench reports per-operation p50/p99
+//     latency and aggregate throughput (also exported as obs gauges,
+//     `service.mixed.c<N>.*`, so the metrics snapshot carries them).
+//
+//  2. The setup cache amortizes repeated structure: every client solves
+//     the same-sized tridiagonal block, so after each worker's first
+//     factorization everything hits. The bench reports the hit rate read
+//     back from the `service.cache.*` obs counters (acceptance: > 0).
+//
+//  3. Coalescing cuts wire payloads: the same message stream shipped with
+//     a 1-message window vs a 64-message window, payloads counted.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/runner.hpp"
+#include "obs/metrics.hpp"
+#include "odin/service.hpp"
+#include "util/string_util.hpp"
+
+namespace pc = pyhpc::comm;
+namespace od = pyhpc::odin;
+namespace obs = pyhpc::obs;
+
+namespace {
+
+constexpr int kRanks = 4;          // 1 driver + 3 workers
+constexpr std::int64_t kN = 60;    // global array length (20 per worker)
+constexpr int kRoundsPerClient = 12;
+
+od::ServiceOptions bench_options() {
+  od::ServiceOptions o;
+  o.driver.ack_timeout = std::chrono::milliseconds(60);
+  o.driver.max_retries = 12;
+  o.driver.reply_timeout = std::chrono::milliseconds(2000);
+  o.overload = od::OverloadPolicy::kPark;  // benches must not shed
+  return o;
+}
+
+double metric(const std::string& name) {
+  auto& reg = obs::MetricsRegistry::global();
+  return reg.has(name) ? reg.value(name) : 0.0;
+}
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+// One client's mixed workload: allocate, combine, solve the repeated
+// tridiagonal structure, then synchronize with a reduce. Returns the
+// per-round reduce (sync-point) latencies in microseconds.
+std::vector<double> run_client(od::Session& s) {
+  std::vector<double> lat_us;
+  lat_us.reserve(kRoundsPerClient);
+  for (int round = 0; round < kRoundsPerClient; ++round) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const int ones = s.create_full(kN, 1.0);
+    const int twos = s.create_full(kN, 2.0);
+    const int mix = s.axpy(0.5, ones, twos);     // 2.5 everywhere
+    const int solved = s.block_solve(mix);       // same structure each round
+    (void)s.reduce_sum(solved);
+    s.free_array(ones);
+    s.free_array(twos);
+    s.free_array(mix);
+    s.free_array(solved);
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(dt).count());
+  }
+  return lat_us;
+}
+
+// Claim 1 + 2: N concurrent sessions, mixed workload, latency percentiles
+// and cache hit rate.
+void BM_ServiceMixed(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  double p50 = 0.0, p99 = 0.0, ops_per_s = 0.0, hit_rate = 0.0;
+  for (auto _ : state) {
+    const double hits0 = metric("service.cache.hits");
+    const double miss0 = metric("service.cache.misses");
+    pc::run(kRanks, [clients, &p50, &p99, &ops_per_s](pc::Communicator& comm) {
+      od::ServiceContext svc(comm, bench_options());
+      if (!svc.is_driver()) {
+        svc.worker_loop();
+        return;
+      }
+      std::vector<std::vector<double>> lat(
+          static_cast<std::size_t>(clients));
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(clients));
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&svc, &lat, c] {
+          od::Session s = svc.open_session();
+          lat[static_cast<std::size_t>(c)] = run_client(s);
+          s.close();
+        });
+      }
+      for (auto& t : threads) t.join();
+      const auto wall = std::chrono::steady_clock::now() - t0;
+      svc.shutdown();
+
+      std::vector<double> all;
+      for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+      std::sort(all.begin(), all.end());
+      p50 = percentile(all, 0.50);
+      p99 = percentile(all, 0.99);
+      const double ops =
+          static_cast<double>(clients) * kRoundsPerClient * 9.0;
+      ops_per_s = ops / std::chrono::duration<double>(wall).count();
+    });
+    const double hits = metric("service.cache.hits") - hits0;
+    const double misses = metric("service.cache.misses") - miss0;
+    hit_rate = (hits + misses) > 0.0 ? hits / (hits + misses) : 0.0;
+  }
+  state.SetLabel(pyhpc::util::cat("clients=", clients));
+  state.counters["p50_us"] = p50;
+  state.counters["p99_us"] = p99;
+  state.counters["ops_per_s"] = ops_per_s;
+  state.counters["cache_hit_rate"] = hit_rate;
+  // Also export through the obs layer so the metrics snapshot in the
+  // bench report carries the service numbers (EXPERIMENTS.md §F8).
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string prefix = pyhpc::util::cat("service.mixed.c", clients);
+  reg.set(prefix + ".p50_us", p50);
+  reg.set(prefix + ".p99_us", p99);
+  reg.set(prefix + ".ops_per_s", ops_per_s);
+  reg.set(prefix + ".cache_hit_rate", hit_rate);
+}
+BENCHMARK(BM_ServiceMixed)->Arg(1)->Arg(4)->Arg(8)->Iterations(3);
+
+// Claim 3: the coalescing window. The identical 4-session stream shipped
+// with batching effectively off (1-message window) vs a 64-message window.
+void BM_ServiceCoalescing(benchmark::State& state) {
+  const bool coalesced = state.range(0) == 1;
+  double payloads = 0.0, messages = 0.0;
+  for (auto _ : state) {
+    pc::run(kRanks, [coalesced, &payloads, &messages](pc::Communicator& comm) {
+      od::ServiceOptions opts = bench_options();
+      opts.batch_messages = coalesced ? 64 : 1;
+      opts.batch_window = std::chrono::microseconds(coalesced ? 500 : 0);
+      od::ServiceContext svc(comm, opts);
+      if (!svc.is_driver()) {
+        svc.worker_loop();
+        return;
+      }
+      std::vector<od::Session> sessions;
+      for (int c = 0; c < 4; ++c) sessions.push_back(svc.open_session());
+      const auto before = svc.driver().payloads_sent();
+      for (int round = 0; round < 8; ++round) {
+        for (auto& s : sessions) {
+          const int x = s.create_full(kN, 1.0);
+          s.free_array(x);
+        }
+      }
+      for (auto& s : sessions) s.flush();
+      payloads = static_cast<double>(svc.driver().payloads_sent() - before);
+      messages = static_cast<double>(svc.messages_submitted());
+      for (auto& s : sessions) s.close();
+      svc.shutdown();
+    });
+  }
+  state.SetLabel(coalesced ? "window=64" : "window=1");
+  state.counters["payloads"] = payloads;
+  state.counters["messages"] = messages;
+}
+BENCHMARK(BM_ServiceCoalescing)->Arg(0)->Arg(1)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -41,6 +41,19 @@ inline constexpr int kHaloTag = kInternalP2PBase + 0;
 /// per-(source, dest) delivery is FIFO.
 inline constexpr int kImportTag = kInternalP2PBase + 1;
 
+/// Reserved internal tags for the ODIN driver/service control plane
+/// (odin::DriverContext / odin::ServiceContext). Control payloads and
+/// their acks ride two fixed tags; reduce replies are session-tagged —
+/// each service session's replies travel on
+/// `kDriverReplyBase + session % kDriverReplySpan`, so one session's
+/// partials can never be matched by another session's collection loop.
+/// (Session ids wrap past the span; dispatch is serialized, so a wrapped
+/// id only shares a tag, never interleaves on it.)
+inline constexpr int kDriverControlTag = kInternalP2PBase + 2;
+inline constexpr int kDriverAckTag = kInternalP2PBase + 3;
+inline constexpr int kDriverReplyBase = kInternalP2PBase + 16;
+inline constexpr int kDriverReplySpan = 1 << 12;
+
 /// Delivery metadata returned by recv/probe (MPI_Status analogue).
 struct Status {
   int source = kAnySource;

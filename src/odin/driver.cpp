@@ -1,5 +1,8 @@
 #include "odin/driver.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "odin/ufunc.hpp"
@@ -10,36 +13,93 @@ namespace pyhpc::odin {
 
 namespace {
 
-// Wire format of one control payload: an 8-byte little-endian-native
-// sequence number followed by the packed ControlMessages.
-constexpr std::size_t kSeqHeaderBytes = sizeof(std::uint64_t);
+// Wire format of one control payload: a 16-byte native-endian
+// [epoch u64][sequence u64] header followed by the packed ControlMessages.
+// Both encode and decode guard the messages memcpy on emptiness — a
+// zero-message payload (possible through ship_batch retransmission paths)
+// must not touch data() of an empty region (the memcpy-on-empty UB class
+// fixed for the p2p decode paths in earlier PRs).
+constexpr std::size_t kFrameHeaderBytes = 2 * sizeof(std::uint64_t);
+
+struct FrameHeader {
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+};
 
 std::vector<std::byte> encode_payload(const std::vector<ControlMessage>& batch,
-                                      std::uint64_t seq) {
-  std::vector<std::byte> raw(kSeqHeaderBytes +
+                                      std::uint64_t epoch, std::uint64_t seq) {
+  std::vector<std::byte> raw(kFrameHeaderBytes +
                              batch.size() * sizeof(ControlMessage));
-  std::memcpy(raw.data(), &seq, kSeqHeaderBytes);
+  FrameHeader hdr{epoch, seq};
+  std::memcpy(raw.data(), &hdr, kFrameHeaderBytes);
   if (!batch.empty()) {
-    std::memcpy(raw.data() + kSeqHeaderBytes, batch.data(),
+    std::memcpy(raw.data() + kFrameHeaderBytes, batch.data(),
                 batch.size() * sizeof(ControlMessage));
   }
   return raw;
 }
 
-std::uint64_t decode_payload(const std::vector<std::byte>& raw,
-                             std::vector<ControlMessage>& batch) {
+FrameHeader decode_payload(const std::vector<std::byte>& raw,
+                           std::vector<ControlMessage>& batch) {
   require<CommError>(
-      raw.size() >= kSeqHeaderBytes &&
-          (raw.size() - kSeqHeaderBytes) % sizeof(ControlMessage) == 0,
+      raw.size() >= kFrameHeaderBytes &&
+          (raw.size() - kFrameHeaderBytes) % sizeof(ControlMessage) == 0,
       "worker: malformed control payload");
-  std::uint64_t seq = 0;
-  std::memcpy(&seq, raw.data(), kSeqHeaderBytes);
-  batch.resize((raw.size() - kSeqHeaderBytes) / sizeof(ControlMessage));
+  FrameHeader hdr;
+  std::memcpy(&hdr, raw.data(), kFrameHeaderBytes);
+  batch.resize((raw.size() - kFrameHeaderBytes) / sizeof(ControlMessage));
   if (!batch.empty()) {
-    std::memcpy(batch.data(), raw.data() + kSeqHeaderBytes,
+    std::memcpy(batch.data(), raw.data() + kFrameHeaderBytes,
                 batch.size() * sizeof(ControlMessage));
   }
-  return seq;
+  return hdr;
+}
+
+// Thomas-algorithm setup for the fixed tridiag(-1, 2, -1) system of local
+// size m: the value-independent forward-elimination coefficients. This is
+// the artifact the worker-side SetupCache amortizes across repeated
+// same-structure solves (DESIGN.md §10).
+struct TridiagSetup {
+  std::vector<double> cp;         // modified superdiagonal c'_i
+  std::vector<double> inv_denom;  // 1 / (b_i - a_i c'_{i-1})
+};
+
+std::shared_ptr<TridiagSetup> build_tridiag_setup(std::size_t m) {
+  auto s = std::make_shared<TridiagSetup>();
+  s->cp.resize(m);
+  s->inv_denom.resize(m);
+  double prev_cp = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    // a_i = -1 (sub), b_i = 2, c_i = -1 (super); denom = b - a * c'_{i-1}.
+    const double denom = 2.0 + prev_cp;
+    s->inv_denom[i] = 1.0 / denom;
+    s->cp[i] = -1.0 * s->inv_denom[i];
+    prev_cp = s->cp[i];
+  }
+  return s;
+}
+
+void tridiag_solve(const TridiagSetup& s, const std::vector<double>& rhs,
+                   std::vector<double>& x) {
+  const std::size_t m = rhs.size();
+  x.resize(m);
+  if (m == 0) return;
+  // Forward sweep: d'_i = (d_i - a_i d'_{i-1}) / denom_i with a_i = -1.
+  double prev = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    prev = (rhs[i] + prev) * s.inv_denom[i];
+    x[i] = prev;
+  }
+  // Back substitution: x_i = d'_i - c'_i x_{i+1}.
+  for (std::size_t i = m - 1; i-- > 0;) {
+    x[i] -= s.cp[i] * x[i + 1];
+  }
+}
+
+std::uint64_t segment_key(std::int32_t session, std::int32_t id) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(session))
+          << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
 }
 
 }  // namespace
@@ -48,6 +108,8 @@ DriverContext::DriverContext(comm::Communicator& comm) : comm_(&comm) {
   require(comm.size() >= 2,
           "DriverContext: need at least one worker besides the driver");
   opts_.reliable = false;
+  setup_cache_ = std::make_unique<util::SetupCache>(
+      opts_.setup_cache_capacity, "service.cache");
 }
 
 DriverContext::DriverContext(comm::Communicator& comm,
@@ -57,6 +119,10 @@ DriverContext::DriverContext(comm::Communicator& comm,
           "DriverContext: need at least one worker besides the driver");
   require(opts_.max_retries >= 0,
           "DriverOptions: max_retries must be >= 0");
+  require(opts_.setup_cache_capacity > 0,
+          "DriverOptions: setup_cache_capacity must be positive");
+  setup_cache_ = std::make_unique<util::SetupCache>(
+      opts_.setup_cache_capacity, "service.cache");
 }
 
 // Workers partition [0, n) in near-equal blocks by worker index.
@@ -84,8 +150,8 @@ void DriverContext::raise_worker_lost(int worker, const char* during) const {
 void DriverContext::send_payload(int worker,
                                  const std::vector<ControlMessage>& batch,
                                  std::uint64_t seq) {
-  const auto raw = encode_payload(batch, seq);
-  comm_->send_bytes(raw, worker, kControlTag);
+  const auto raw = encode_payload(batch, opts_.epoch, seq);
+  comm_->send_internal(std::span<const std::byte>(raw), worker, kControlTag);
   ++payloads_;
   messages_ += batch.size();
   bytes_ += batch.size() * sizeof(ControlMessage);
@@ -109,9 +175,16 @@ void DriverContext::await_ack_or_retry(
     }
     try {
       for (;;) {
-        const auto ack = comm_->recv_value_within<std::uint64_t>(
+        const auto ack = comm_->recv_value_within<AckFrame>(
             opts_.ack_timeout, worker, kAckTag);
-        if (ack >= seq) return;
+        if (ack.epoch != opts_.epoch) {
+          // Ack addressed to a previous driver generation over this comm;
+          // its sequence numbers live in a different namespace, so even a
+          // large ack.seq proves nothing about *our* payload. Drop it.
+          obs::MetricsRegistry::global().add("driver.stale_epoch_acks", 1.0);
+          continue;
+        }
+        if (ack.seq >= seq) return;
         // Stale ack from an earlier duplicate delivery; keep waiting.
       }
     } catch (const RecvTimeoutError&) {
@@ -129,7 +202,8 @@ void DriverContext::await_ack_or_retry(
                             opts_.max_retries, " retries"));
 }
 
-void DriverContext::ship(const std::vector<ControlMessage>& batch) {
+void DriverContext::ship_batch(const std::vector<ControlMessage>& batch) {
+  require(is_driver(), "DriverContext: ship_batch is driver-side only");
   if (batch.empty()) return;
   obs::Span span("driver.ship", "odin");
   if (span.active()) {
@@ -153,7 +227,7 @@ void DriverContext::post(const ControlMessage& msg) {
     queue_.push_back(msg);
     return;
   }
-  ship({msg});
+  ship_batch({msg});
 }
 
 void DriverContext::begin_batch() {
@@ -165,7 +239,13 @@ void DriverContext::flush_batch() {
   require(is_driver(), "DriverContext: flush_batch is driver-side only");
   batching_ = false;
   if (queue_.empty()) return;
-  ship(queue_);
+  ship_batch(queue_);
+  queue_.clear();
+}
+
+void DriverContext::discard_batch() {
+  require(is_driver(), "DriverContext: discard_batch is driver-side only");
+  batching_ = false;
   queue_.clear();
 }
 
@@ -221,11 +301,40 @@ int DriverContext::axpy(double alpha, int x, int y) {
   return m.result_id;
 }
 
+int DriverContext::block_solve(int b) {
+  ControlMessage m;
+  m.op = ControlMessage::Op::kBlockSolve;
+  m.result_id = fresh_id();
+  m.arg0 = b;
+  post(m);
+  return m.result_id;
+}
+
 void DriverContext::free_array(int id) {
   ControlMessage m;
   m.op = ControlMessage::Op::kFree;
   m.arg0 = id;
   post(m);
+}
+
+double DriverContext::collect_reduce(std::int32_t session) {
+  require(is_driver(), "DriverContext: collect_reduce is driver-side only");
+  const int tag = reply_tag(session);
+  double total = 0.0;
+  for (int w = 1; w < comm_->size(); ++w) {
+    if (comm_->rank_dead(w)) raise_worker_lost(w, "reduce_sum");
+    if (opts_.reliable) {
+      try {
+        total += comm_->recv_value_within<double>(opts_.reply_timeout, w, tag);
+      } catch (const RecvTimeoutError&) {
+        if (comm_->rank_dead(w)) raise_worker_lost(w, "reduce_sum");
+        throw;
+      }
+    } else {
+      total += comm_->recv_value<double>(w, tag);
+    }
+  }
+  return total;
 }
 
 double DriverContext::reduce_sum(int a) {
@@ -234,29 +343,14 @@ double DriverContext::reduce_sum(int a) {
   m.op = ControlMessage::Op::kReduceSum;
   m.arg0 = a;
   post(m);
-  double total = 0.0;
-  for (int w = 1; w < comm_->size(); ++w) {
-    if (comm_->rank_dead(w)) raise_worker_lost(w, "reduce_sum");
-    if (opts_.reliable) {
-      try {
-        total += comm_->recv_value_within<double>(opts_.reply_timeout, w,
-                                                  kReplyTag);
-      } catch (const RecvTimeoutError&) {
-        if (comm_->rank_dead(w)) raise_worker_lost(w, "reduce_sum");
-        throw;
-      }
-    } else {
-      total += comm_->recv_value<double>(w, kReplyTag);
-    }
-  }
-  return total;
+  return collect_reduce(0);
 }
 
 void DriverContext::shutdown() {
   if (batching_) flush_batch();
   ControlMessage m;
   m.op = ControlMessage::Op::kShutdown;
-  // Inline ship() so one dead worker cannot stop the shutdown from
+  // Inline ship_batch() so one dead worker cannot stop the shutdown from
   // reaching the live ones: deliver everywhere first, collect acks from
   // live workers, then report the first casualty.
   const std::vector<ControlMessage> batch{m};
@@ -293,32 +387,72 @@ void DriverContext::worker_loop() {
       continue;
     }
     std::vector<ControlMessage> batch;
-    const std::uint64_t seq = decode_payload(raw, batch);
-    if (opts_.reliable && seq <= last_seq_) {
+    const FrameHeader hdr = decode_payload(raw, batch);
+    if (hdr.epoch != opts_.epoch) {
+      // Payload from a different driver generation over the same comm
+      // (e.g. a duplicate still in flight when the old context was torn
+      // down). Its sequence numbers belong to another namespace: do NOT
+      // touch last_seq_, do NOT execute, do NOT ack — the sender is gone.
+      obs::instant("driver.stale_epoch_payload", "odin");
+      obs::MetricsRegistry::global().add("driver.stale_epoch_payloads", 1.0);
+      continue;
+    }
+    if (opts_.reliable && hdr.seq <= last_seq_) {
       // Retransmission or injected duplicate of a payload already
       // executed: just re-ack so the driver stops retrying.
       obs::instant("driver.duplicate_payload", "odin");
       obs::MetricsRegistry::global().add("driver.duplicate_payloads", 1.0);
-      comm_->send_value<std::uint64_t>(seq, 0, kAckTag);
+      comm_->send_value_internal(AckFrame{opts_.epoch, hdr.seq}, 0, kAckTag);
       continue;
     }
-    last_seq_ = seq;
+    last_seq_ = hdr.seq;
     for (const auto& msg : batch) {
-      execute(msg, running);
+      try {
+        execute(msg, running);
+      } catch (const CommError&) {
+        // Substrate failure (killed rank, revoked comm): the loop cannot
+        // continue meaningfully — propagate to the runner.
+        throw;
+      } catch (const std::exception&) {
+        // One bad control message (dangling array id, unknown ufunc,
+        // size mismatch — typically one misbehaving service session) must
+        // not take the worker down for everyone else. Count it; a failed
+        // reduce still replies (NaN) so the driver's collection loop
+        // never times out waiting for a partial that will not come.
+        obs::MetricsRegistry::global().add("driver.worker_op_errors", 1.0);
+        if (msg.op == ControlMessage::Op::kReduceSum) {
+          comm_->send_value_internal(std::numeric_limits<double>::quiet_NaN(),
+                                     0, reply_tag(msg.session));
+        }
+      }
       if (!running) break;
     }
     if (opts_.reliable) {
       obs::MetricsRegistry::global().add("driver.acks_sent", 1.0);
-      comm_->send_value<std::uint64_t>(seq, 0, kAckTag);
+      comm_->send_value_internal(AckFrame{opts_.epoch, hdr.seq}, 0, kAckTag);
     }
   }
+}
+
+std::vector<double>& DriverContext::segment(std::int32_t session,
+                                            std::int32_t id) {
+  return segments_[segment_key(session, id)];
+}
+
+const std::vector<double>& DriverContext::segment_at(std::int32_t session,
+                                                     std::int32_t id) const {
+  auto it = segments_.find(segment_key(session, id));
+  require(it != segments_.end(),
+          util::cat("driver worker: unknown array id ", id, " in session ",
+                    session));
+  return it->second;
 }
 
 void DriverContext::execute(const ControlMessage& msg, bool& running) {
   using Op = ControlMessage::Op;
   switch (msg.op) {
     case Op::kCreateRandom: {
-      auto& seg = segments_[msg.result_id];
+      auto& seg = segment(msg.session, msg.result_id);
       seg.resize(static_cast<std::size_t>(local_count(msg.n)));
       util::Xoshiro256 rng(static_cast<std::uint64_t>(msg.scalar),
                            static_cast<std::uint64_t>(comm_->rank()));
@@ -326,49 +460,66 @@ void DriverContext::execute(const ControlMessage& msg, bool& running) {
       break;
     }
     case Op::kCreateFull: {
-      auto& seg = segments_[msg.result_id];
+      auto& seg = segment(msg.session, msg.result_id);
       seg.assign(static_cast<std::size_t>(local_count(msg.n)), msg.scalar);
       break;
     }
     case Op::kUnary: {
       const auto& fn = UfuncRegistry::builtin().unary(msg.get_name());
-      const auto& in = segments_.at(msg.arg0);
-      auto& out = segments_[msg.result_id];
+      const auto& in = segment_at(msg.session, msg.arg0);
+      auto& out = segment(msg.session, msg.result_id);
       out.resize(in.size());
       for (std::size_t i = 0; i < in.size(); ++i) out[i] = fn(in[i]);
       break;
     }
     case Op::kBinary: {
       const auto& fn = UfuncRegistry::builtin().binary(msg.get_name());
-      const auto& a = segments_.at(msg.arg0);
-      const auto& b = segments_.at(msg.arg1);
+      const auto& a = segment_at(msg.session, msg.arg0);
+      const auto& b = segment_at(msg.session, msg.arg1);
       require(a.size() == b.size(), "driver worker: segment size mismatch");
-      auto& out = segments_[msg.result_id];
+      auto& out = segment(msg.session, msg.result_id);
       out.resize(a.size());
       for (std::size_t i = 0; i < a.size(); ++i) out[i] = fn(a[i], b[i]);
       break;
     }
     case Op::kAxpy: {
-      const auto& x = segments_.at(msg.arg0);
-      const auto& y = segments_.at(msg.arg1);
+      const auto& x = segment_at(msg.session, msg.arg0);
+      const auto& y = segment_at(msg.session, msg.arg1);
       require(x.size() == y.size(), "driver worker: segment size mismatch");
-      auto& out = segments_[msg.result_id];
+      auto& out = segment(msg.session, msg.result_id);
       out.resize(x.size());
       for (std::size_t i = 0; i < x.size(); ++i) {
         out[i] = msg.scalar * x[i] + y[i];
       }
       break;
     }
+    case Op::kBlockSolve: {
+      const auto& rhs = segment_at(msg.session, msg.arg0);
+      const auto setup = setup_cache_->get_or_build<TridiagSetup>(
+          util::cat("tridiag:", rhs.size()),
+          [&] { return build_tridiag_setup(rhs.size()); });
+      auto& out = segment(msg.session, msg.result_id);
+      tridiag_solve(*setup, rhs, out);
+      break;
+    }
     case Op::kReduceSum: {
-      const auto& a = segments_.at(msg.arg0);
+      const auto& a = segment_at(msg.session, msg.arg0);
       double partial = 0.0;
       for (double v : a) partial += v;
-      comm_->send_value(partial, 0, kReplyTag);
+      comm_->send_value_internal(partial, 0, reply_tag(msg.session));
       break;
     }
     case Op::kFree:
-      segments_.erase(msg.arg0);
+      segments_.erase(segment_key(msg.session, msg.arg0));
       break;
+    case Op::kCloseSession: {
+      // Drop every segment in [session << 32, (session + 1) << 32).
+      const auto lo = segments_.lower_bound(segment_key(msg.session, 0));
+      const auto hi = segments_.lower_bound(
+          segment_key(msg.session, 0) + (1ULL << 32));
+      segments_.erase(lo, hi);
+      break;
+    }
     case Op::kShutdown:
       running = false;
       break;

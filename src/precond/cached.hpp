@@ -1,0 +1,52 @@
+// Setup-cache adapters for preconditioner factorizations (DESIGN.md §10).
+// ILU(0) and AMG setup dominate solve cost on small repeated problems;
+// keying the built preconditioner on the matrix's *structure* fingerprint
+// amortizes that setup across the service's repeated-structure workload.
+//
+// Correctness caveat, by design: a structure-keyed hit reuses the
+// factorization built from the FIRST matrix values seen with that
+// sparsity pattern. That is the classic "reuse preconditioner" trade
+// (Trilinos' Ifpack reuse flag): the preconditioner stays a valid
+// operator — any fixed SPD-ish M only changes convergence speed, not the
+// answer Krylov converges to — but callers whose values drift far should
+// clear the cache. Tests pin both behaviours.
+#pragma once
+
+#include <memory>
+
+#include "precond/amg.hpp"
+#include "precond/preconditioner.hpp"
+#include "tpetra/structure.hpp"
+#include "util/setup_cache.hpp"
+#include "util/string_util.hpp"
+
+namespace pyhpc::precond {
+
+/// ILU(0) keyed on the matrix structure fingerprint.
+inline std::shared_ptr<Ilu0Preconditioner> cached_ilu0(
+    util::SetupCache& cache, const Matrix& a) {
+  const std::string key =
+      util::cat("ilu0:", tpetra::structure_fingerprint(a));
+  return cache.get_or_build<Ilu0Preconditioner>(
+      key, [&] { return std::make_shared<Ilu0Preconditioner>(a); });
+}
+
+/// AMG keyed on the matrix structure fingerprint plus the setup-relevant
+/// options (hierarchy shape depends on them). Collective on miss — the
+/// lockstep requirement of tpetra::cached_import applies.
+inline std::shared_ptr<AmgPreconditioner> cached_amg(
+    util::SetupCache& cache, const Matrix& a, const AmgOptions& opts = {}) {
+  util::Fingerprint ofp;
+  ofp.mix(static_cast<std::uint64_t>(opts.max_levels));
+  ofp.mix(static_cast<std::uint64_t>(opts.coarse_size));
+  ofp.mix(static_cast<std::uint64_t>(opts.pre_smooth_sweeps));
+  ofp.mix(static_cast<std::uint64_t>(opts.post_smooth_sweeps));
+  ofp.mix_bytes(&opts.jacobi_omega, sizeof(opts.jacobi_omega));
+  ofp.mix_bytes(&opts.prolongator_damping, sizeof(opts.prolongator_damping));
+  const std::string key =
+      util::cat("amg:", tpetra::structure_fingerprint(a), ":", ofp.digest());
+  return cache.get_or_build<AmgPreconditioner>(
+      key, [&] { return std::make_shared<AmgPreconditioner>(a, opts); });
+}
+
+}  // namespace pyhpc::precond

@@ -1,0 +1,87 @@
+// Setup-cached variant of the parameter-driven solve facade (DESIGN.md
+// §10 "setup cache"). The expensive part of an iterative solve on a
+// repeated problem structure is the preconditioner setup (ILU
+// factorization, AMG hierarchy); `cached_solve` routes it through a
+// structure-keyed SetupCache so the Nth solve on the same sparsity
+// reuses the first solve's setup.
+//
+// Keying mixes the matrix's structure fingerprint with the
+// preconditioner configuration (kind + amg sublist), never the values:
+// a structure hit on fresh values reuses the first values' setup — a
+// valid operator with a convergence-only effect (see precond/cached.hpp
+// for the same trade on the direct adapters).
+//
+// The preconditioner builders are rank-local but the AMG hierarchy
+// build is collective, so the cached_import lockstep rule applies: give
+// every rank its own cache and identical request streams.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "precond/preconditioner.hpp"
+#include "solvers/factory.hpp"
+#include "solvers/krylov.hpp"
+#include "teuchos/parameter_list.hpp"
+#include "tpetra/structure.hpp"
+#include "util/setup_cache.hpp"
+#include "util/string_util.hpp"
+
+namespace pyhpc::solvers {
+
+/// Cache key for (matrix structure, preconditioner configuration).
+inline std::string precond_cache_key(const precond::Matrix& a,
+                                     const teuchos::ParameterList& params) {
+  util::Fingerprint fp;
+  fp.mix(tpetra::structure_fingerprint(a));
+  const std::string kind = params.get_string("preconditioner", "none");
+  fp.mix_bytes(kind.data(), kind.size());
+  if (kind == "amg" && params.is_sublist("amg")) {
+    const auto& sub = params.sublist("amg");
+    fp.mix(static_cast<std::uint64_t>(sub.get_int("max levels", 0)));
+    fp.mix(static_cast<std::uint64_t>(sub.get_int("coarse size", 0)));
+    fp.mix(static_cast<std::uint64_t>(sub.get_int("pre sweeps", 0)));
+    fp.mix(static_cast<std::uint64_t>(sub.get_int("post sweeps", 0)));
+    fp.mix(static_cast<std::uint64_t>(
+        sub.get_double("jacobi omega", 0.0) * 1e9));
+    fp.mix(static_cast<std::uint64_t>(
+        sub.get_double("prolongator damping", 0.0) * 1e9));
+  }
+  return util::cat("precond:", fp.digest());
+}
+
+/// Builds (or fetches) the parameter-list preconditioner through `cache`.
+/// Returns nullptr for "preconditioner" = "none", same as the uncached
+/// `make_preconditioner`.
+inline std::shared_ptr<precond::Preconditioner> cached_preconditioner(
+    util::SetupCache& cache, const precond::Matrix& a,
+    const teuchos::ParameterList& params) {
+  if (params.get_string("preconditioner", "none") == "none") return nullptr;
+  return cache.get_or_build<precond::Preconditioner>(
+      precond_cache_key(a, params), [&] {
+        return std::shared_ptr<precond::Preconditioner>(
+            make_preconditioner(a, params));
+      });
+}
+
+/// `solvers::solve` with the preconditioner setup routed through `cache`.
+/// Direct solves ("lapack", "klu", ...) take no preconditioner and fall
+/// through to the uncached facade unchanged.
+inline SolveResult cached_solve(util::SetupCache& cache,
+                                const precond::Matrix& a, const Vector& b,
+                                Vector& x,
+                                const teuchos::ParameterList& params) {
+  const std::string solver = params.get_string("solver", "gmres");
+  if (solver == "lapack" || solver == "klu" || solver == "dense" ||
+      solver == "banded") {
+    return solve(a, b, x, params);
+  }
+  KrylovOptions options;
+  if (params.is_sublist("krylov")) {
+    options = KrylovOptions::from_parameters(params.sublist("krylov"));
+  }
+  auto m = cached_preconditioner(cache, a, params);
+  return create_solver(solver)(a, b, x, options, m.get());
+}
+
+}  // namespace pyhpc::solvers

@@ -1,0 +1,73 @@
+// Structure fingerprints and setup-cache adapters for tpetra objects
+// (DESIGN.md §10 "setup cache"). A fingerprint covers exactly the problem
+// *structure* — map shape and ownership, CSR sparsity pattern — and never
+// the values: the service workload repeats structures with fresh values,
+// so artifacts keyed this way (Import plans, factorizations) amortize
+// across requests while staying correct.
+//
+// Fingerprints are per-rank (they mix this rank's owned indices); the
+// cache adapters therefore require a per-rank SetupCache. Builders run
+// outside the cache lock (see util/setup_cache.hpp), which is what makes
+// collective builders (Import) safe to route through a cache at all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "tpetra/crs_matrix.hpp"
+#include "tpetra/import_export.hpp"
+#include "tpetra/map.hpp"
+#include "util/setup_cache.hpp"
+#include "util/string_util.hpp"
+
+namespace pyhpc::tpetra {
+
+/// Fingerprint of a map's local structure: global/local extents, this
+/// rank's position, and the owned global indices.
+template <class LO, class GO>
+std::uint64_t structure_fingerprint(const Map<LO, GO>& map) {
+  util::Fingerprint fp;
+  fp.mix(static_cast<std::uint64_t>(map.num_global()));
+  fp.mix(static_cast<std::uint64_t>(map.num_local()));
+  fp.mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(map.rank())));
+  const auto gids = map.my_global_indices();
+  fp.mix_bytes(gids.data(), gids.size() * sizeof(GO));
+  return fp.digest();
+}
+
+/// Fingerprint of a fill-complete matrix's sparsity structure: row map
+/// fingerprint plus the local CSR pattern (row_ptr + col_ind, NOT values).
+template <class Scalar, class LO, class GO>
+std::uint64_t structure_fingerprint(const CrsMatrix<Scalar, LO, GO>& a) {
+  require<MapError>(a.is_fill_complete(),
+                    "structure_fingerprint: call fill_complete first");
+  util::Fingerprint fp;
+  fp.mix(structure_fingerprint(a.row_map()));
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_ind();
+  fp.mix_bytes(rp.data(), rp.size() * sizeof(std::int64_t));
+  fp.mix_bytes(ci.data(), ci.size() * sizeof(LO));
+  return fp.digest();
+}
+
+/// Cached Import plan for (source, target): builds collectively on miss,
+/// returns the shared plan on hit. The Import constructor is collective,
+/// so hit/miss must agree across ranks: give every rank its own cache and
+/// feed all ranks the identical request stream (as the service layer does)
+/// — then each structure misses everywhere exactly once and hits
+/// everywhere afterwards. A rank-local cache shared across divergent
+/// request streams would deadlock the first time one rank hits while
+/// another builds.
+template <class LO, class GO>
+std::shared_ptr<Import<LO, GO>> cached_import(util::SetupCache& cache,
+                                              const Map<LO, GO>& source,
+                                              const Map<LO, GO>& target) {
+  const std::string key =
+      util::cat("import:", structure_fingerprint(source), ":",
+                structure_fingerprint(target));
+  return cache.get_or_build<Import<LO, GO>>(key, [&] {
+    return std::make_shared<Import<LO, GO>>(source, target);
+  });
+}
+
+}  // namespace pyhpc::tpetra

@@ -87,6 +87,14 @@ class WorkerLostError : public CommError {
   explicit WorkerLostError(const std::string& what) : CommError(what) {}
 };
 
+/// A driver-service session's bounded submit queue is full and the
+/// admission policy is shed: the operation was rejected (never queued,
+/// never executed). Callers may retry after a sync point drains the queue.
+class QueueFullError : public Error {
+ public:
+  explicit QueueFullError(const std::string& what) : Error(what) {}
+};
+
 /// Checkpoint store inconsistency: a restore asked for a range no complete
 /// snapshot covers (a rank died before finishing that version's saves).
 class CheckpointError : public Error {

@@ -1,0 +1,72 @@
+#include "util/setup_cache.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace pyhpc::util {
+
+SetupCache::SetupCache(std::size_t capacity, std::string metric_prefix)
+    : capacity_(capacity), prefix_(std::move(metric_prefix)) {
+  require(capacity_ > 0, "SetupCache: capacity must be positive");
+}
+
+std::shared_ptr<void> SetupCache::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    obs::MetricsRegistry::global().add(prefix_ + ".misses", 1.0);
+    return nullptr;
+  }
+  ++stats_.hits;
+  obs::MetricsRegistry::global().add(prefix_ + ".hits", 1.0);
+  order_.splice(order_.begin(), order_, it->second.pos);
+  return it->second.value;
+}
+
+std::shared_ptr<void> SetupCache::insert(const std::string& key,
+                                         std::shared_ptr<void> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Lost a build race: the first insert wins so every caller shares one
+    // artifact (the redundant build was already counted as a miss).
+    order_.splice(order_.begin(), order_, it->second.pos);
+    return it->second.value;
+  }
+  order_.push_front(key);
+  entries_[key] = Entry{std::move(value), order_.begin()};
+  while (entries_.size() > capacity_) {
+    const std::string& victim = order_.back();
+    entries_.erase(victim);
+    order_.pop_back();
+    ++stats_.evictions;
+    obs::MetricsRegistry::global().add(prefix_ + ".evictions", 1.0);
+  }
+  return entries_[key].value;
+}
+
+SetupCache::Stats SetupCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = entries_.size();
+  return s;
+}
+
+std::size_t SetupCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+bool SetupCache::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(key) > 0;
+}
+
+void SetupCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  order_.clear();
+}
+
+}  // namespace pyhpc::util

@@ -1,0 +1,114 @@
+// SetupCache: a thread-safe LRU store for expensive setup artifacts keyed
+// on problem structure — Import/Export plans, ILU/AMG factorizations,
+// Thomas coefficient vectors, compiled Seamless engines. The paper's
+// millions-of-users scenario repeats the same problem *structure* (map
+// shape + sparsity pattern) with different values, so the setup cost can be
+// paid once and amortized across sessions; the service layer (DESIGN.md
+// §10) keys entries by structure fingerprint.
+//
+// Hit/miss/eviction counts are exposed both as a Stats snapshot and as
+// obs counters under a configurable prefix (default `service.cache.*`), so
+// bench reports can assert a hit rate without holding the cache object.
+//
+// Concurrency: lookups and inserts are mutex-protected, but a builder runs
+// OUTSIDE the lock — distributed (collective) builders must not serialize
+// against each other through the cache, and a lost insert race simply
+// keeps the first value (the duplicate build is counted as a miss).
+// Consequence: per-rank caches for distributed artifacts; never share one
+// cache object across ranks that build collectively.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace pyhpc::util {
+
+/// Incremental FNV-1a accumulator for structure fingerprints (map shapes,
+/// CSR patterns, source text). Same constants as comm::envelope_checksum.
+class Fingerprint {
+ public:
+  Fingerprint& mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffULL;
+      h_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fingerprint& mix_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    // data may be null when n == 0 (empty vector); never dereference then.
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= static_cast<std::uint64_t>(p[i]);
+      h_ *= kPrime;
+    }
+    return *this;
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h_ = 1469598103934665603ULL;  // FNV offset basis
+};
+
+class SetupCache {
+ public:
+  /// `capacity` bounds the entry count (least-recently-used entries are
+  /// evicted past it); `metric_prefix` names the obs counters this cache
+  /// reports under (`<prefix>.hits` / `.misses` / `.evictions`).
+  explicit SetupCache(std::size_t capacity = 64,
+                      std::string metric_prefix = "service.cache");
+
+  SetupCache(const SetupCache&) = delete;
+  SetupCache& operator=(const SetupCache&) = delete;
+
+  /// Returns the cached artifact for `key`, or runs `build` (outside the
+  /// lock — see the header comment) and caches its result. `build` must
+  /// return std::shared_ptr<T>.
+  template <class T, class Build>
+  std::shared_ptr<T> get_or_build(const std::string& key, Build&& build) {
+    if (auto hit = lookup(key)) return std::static_pointer_cast<T>(hit);
+    std::shared_ptr<T> made = build();
+    return std::static_pointer_cast<T>(insert(key, made));
+  }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  bool contains(const std::string& key) const;
+  void clear();
+
+ private:
+  /// nullptr on miss; a hit refreshes LRU order.
+  std::shared_ptr<void> lookup(const std::string& key);
+  /// Stores `value` unless the key was inserted concurrently, in which
+  /// case the first value wins and is returned.
+  std::shared_ptr<void> insert(const std::string& key,
+                               std::shared_ptr<void> value);
+
+  std::size_t capacity_;
+  std::string prefix_;
+  mutable std::mutex mu_;
+  // LRU order: front = most recently used.
+  std::list<std::string> order_;
+  struct Entry {
+    std::shared_ptr<void> value;
+    std::list<std::string>::iterator pos;
+  };
+  std::map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace pyhpc::util

@@ -12,6 +12,7 @@
 #include "comm/config.hpp"
 #include "comm/fault.hpp"
 #include "comm/runner.hpp"
+#include "obs/metrics.hpp"
 #include "odin/driver.hpp"
 #include "util/error.hpp"
 
@@ -572,4 +573,204 @@ TEST(DriverFaults, WorkerDeathUnderCombinedScheduleStillRaisesWorkerLost) {
         << e.what();
   }
   EXPECT_EQ(inj->counts().kills, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Batch guard: begin_batch/flush_batch exception safety (PR 8 bugfix)
+// ---------------------------------------------------------------------------
+
+TEST(DriverBatchGuard, AbandonedBatchIsDiscardedOnUnwind) {
+  // Pre-fix, a throw between begin_batch and flush_batch left the queued
+  // messages buffered AND batching mode on: the stale messages shipped out
+  // of order with the next unrelated traffic. Here the abandoned message
+  // is a kFree of a live array — if it leaked into the next flush, the
+  // reduce below would run on a destroyed segment instead of summing 60.
+  pc::run(3, [](pc::Communicator& comm) {
+    od::DriverContext ctx(comm, fast_driver_options());
+    if (!ctx.is_driver()) {
+      ctx.worker_loop();
+      return;
+    }
+    const int keep = ctx.create_full(60, 1.0);
+    try {
+      od::BatchGuard guard(ctx);
+      ctx.free_array(keep);  // queued, not yet shipped
+      throw std::runtime_error("client failure mid-batch");
+      // guard.flush() is never reached.
+    } catch (const std::runtime_error&) {
+    }
+    EXPECT_FALSE(ctx.batching());
+    const int doubled = ctx.axpy(1.0, keep, keep);
+    EXPECT_NEAR(ctx.reduce_sum(keep), 60.0, 1e-9);
+    EXPECT_NEAR(ctx.reduce_sum(doubled), 120.0, 1e-9);
+    ctx.shutdown();
+  });
+}
+
+TEST(DriverBatchGuard, FlushShipsExactlyOnceAndIsIdempotent) {
+  pc::run(3, [](pc::Communicator& comm) {
+    od::DriverContext ctx(comm, fast_driver_options());
+    if (!ctx.is_driver()) {
+      ctx.worker_loop();
+      return;
+    }
+    int sum_id = -1;
+    {
+      od::BatchGuard guard(ctx);
+      const int a = ctx.create_full(50, 2.0);
+      const int b = ctx.create_full(50, 3.0);
+      sum_id = ctx.axpy(1.0, a, b);
+      EXPECT_EQ(ctx.payloads_sent(), 0u);  // everything still queued
+      guard.flush();
+      guard.flush();  // idempotent: no second payload
+      EXPECT_EQ(ctx.payloads_sent(), 2u);  // one payload x two workers
+    }
+    EXPECT_NEAR(ctx.reduce_sum(sum_id), 250.0, 1e-9);
+    ctx.shutdown();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Driver epochs: fresh contexts over a reused comm (PR 8 bugfix)
+// ---------------------------------------------------------------------------
+
+TEST(DriverFaults, FreshDriverEpochNotPoisonedByStaleDuplicates) {
+  // An injected duplicate of the FIRST context's shutdown payload stays in
+  // the worker's mailbox after its loop exits. Pre-fix, the SECOND
+  // DriverContext's worker loop received that stale payload first, saw a
+  // sequence number above its fresh last_seq_, and executed it — a stale
+  // kShutdown that killed the new worker loop before the new driver's
+  // payloads arrived (and for non-shutdown ops, silently bumped last_seq_
+  // so the new driver's early payloads were re-acked WITHOUT executing).
+  // Post-fix the payload carries epoch 0, the new context runs epoch 1,
+  // and the worker discards it without touching its dedup state.
+  auto inj = std::make_shared<pc::FaultInjector>(11);
+  pc::FaultRule dup;
+  dup.kind = pc::FaultKind::kDuplicate;
+  dup.source = 0;
+  dup.dest = 1;
+  dup.tag = od::kControlTag;
+  dup.skip_first = 1;       // payload 1 (create) passes clean...
+  dup.max_applications = 1; // ...payload 2 (shutdown) is duplicated
+  inj->add_rule(dup);
+  pc::run(2, config_with(inj), [](pc::Communicator& comm) {
+    od::DriverOptions gen0 = fast_driver_options();
+    gen0.epoch = 0;
+    od::DriverContext ctx1(comm, gen0);
+    if (!ctx1.is_driver()) {
+      ctx1.worker_loop();
+    } else {
+      (void)ctx1.create_full(40, 1.0);
+      ctx1.shutdown();
+    }
+
+    // Same comm, next driver generation. The stale duplicate of the
+    // epoch-0 shutdown is still queued on the worker.
+    od::DriverOptions gen1 = fast_driver_options();
+    gen1.epoch = 1;
+    od::DriverContext ctx2(comm, gen1);
+    if (!ctx2.is_driver()) {
+      ctx2.worker_loop();
+      return;
+    }
+    const int x = ctx2.create_full(40, 2.0);
+    const int y = ctx2.axpy(3.0, x, x);  // 3*2 + 2 = 8 per element
+    EXPECT_NEAR(ctx2.reduce_sum(x), 80.0, 1e-9);
+    EXPECT_NEAR(ctx2.reduce_sum(y), 320.0, 1e-9);
+    ctx2.shutdown();
+  });
+  EXPECT_EQ(inj->counts().duplicates, 1u);
+  EXPECT_GE(pyhpc::obs::MetricsRegistry::global().value(
+                "driver.stale_epoch_payloads"),
+            1.0);
+}
+
+TEST(DriverFaults, SequentialEpochsOverOneCommStayExact) {
+  // Three driver generations over one comm, each with injected duplicates
+  // on the control tag: per-epoch sequence namespaces keep every
+  // generation's dedup independent.
+  auto inj = std::make_shared<pc::FaultInjector>(23);
+  pc::FaultRule dup;
+  dup.kind = pc::FaultKind::kDuplicate;
+  dup.source = 0;
+  dup.tag = od::kControlTag;
+  dup.probability = 0.3;
+  inj->add_rule(dup);
+  pc::run(3, config_with(inj), [](pc::Communicator& comm) {
+    for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+      od::DriverOptions opts = fast_driver_options();
+      opts.epoch = epoch;
+      od::DriverContext ctx(comm, opts);
+      if (!ctx.is_driver()) {
+        ctx.worker_loop();
+        continue;
+      }
+      const int ones = ctx.create_full(90, 1.0);
+      int cur = ones;
+      for (int i = 0; i < 10; ++i) cur = ctx.axpy(1.0, cur, ones);
+      EXPECT_NEAR(ctx.reduce_sum(cur), 11.0 * 90.0, 1e-9)
+          << "epoch " << epoch;
+      ctx.shutdown();
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Empty-payload audit on the control framing (PR 8 bugfix)
+// ---------------------------------------------------------------------------
+
+TEST(DriverEmptyPayload, EmptyShipBatchIsANoOp) {
+  // A zero-message ship must not consume a sequence number or put a
+  // header-only payload on the wire (whose messages memcpy would touch
+  // data() of an empty region — the UB class fixed for the p2p decode
+  // paths in earlier PRs).
+  pc::run(3, [](pc::Communicator& comm) {
+    od::DriverContext ctx(comm, fast_driver_options());
+    if (!ctx.is_driver()) {
+      ctx.worker_loop();
+      return;
+    }
+    ctx.ship_batch({});
+    EXPECT_EQ(ctx.payloads_sent(), 0u);
+    // An empty flush is equally a no-op.
+    ctx.begin_batch();
+    ctx.flush_batch();
+    EXPECT_EQ(ctx.payloads_sent(), 0u);
+    // And the protocol is undisturbed: the next real op is sequenced from
+    // scratch and exact.
+    const int x = ctx.create_full(30, 5.0);
+    EXPECT_NEAR(ctx.reduce_sum(x), 150.0, 1e-9);
+    ctx.shutdown();
+  });
+}
+
+TEST(DriverEmptyPayload, EmptyUfuncNameIsContainedNotFatal) {
+  // ControlMessage::name all-zero (empty string) reaches the worker's
+  // ufunc lookup, which throws; the worker must contain that error (count
+  // it, keep serving) instead of tearing down the loop for every session.
+  const double before =
+      pyhpc::obs::MetricsRegistry::global().value("driver.worker_op_errors");
+  pc::run(3, [](pc::Communicator& comm) {
+    od::DriverContext ctx(comm, fast_driver_options());
+    if (!ctx.is_driver()) {
+      ctx.worker_loop();
+      return;
+    }
+    const int x = ctx.create_full(30, 4.0);
+    (void)ctx.unary("", x);  // executes (and fails) on the workers
+    EXPECT_NEAR(ctx.reduce_sum(x), 120.0, 1e-9);  // loop still alive
+    ctx.shutdown();
+  });
+  EXPECT_GE(pyhpc::obs::MetricsRegistry::global().value(
+                "driver.worker_op_errors"),
+            before + 2.0);  // both workers contained the bad op
+}
+
+TEST(DriverEmptyPayload, MaxLengthUfuncNameRoundTrips) {
+  // name[8] holds at most 7 chars + NUL; get_name must bound its scan
+  // even for the longest legal name.
+  od::ControlMessage m;
+  m.set_name("sigmoid");  // 7 chars, exactly the limit
+  EXPECT_EQ(m.get_name(), "sigmoid");
+  EXPECT_THROW(m.set_name("8chars!!"), pyhpc::InvalidArgument);
 }

@@ -1,0 +1,521 @@
+// Driver-service layer tests (DESIGN.md §10): session multiplexing over
+// one hardened DriverContext, admission control (shed vs park), automatic
+// control-message coalescing, the worker-side setup cache, and isolation
+// under fault injection. Registered under the `service` CTest label:
+// `ctest -L service`. Every test with concurrent client threads goes
+// through the one-mutex caller-runs dispatch, so the suite is TSan-clean
+// by construction (run with -DPYHPC_SANITIZE=thread to check).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "comm/config.hpp"
+#include "comm/fault.hpp"
+#include "comm/runner.hpp"
+#include "obs/metrics.hpp"
+#include "odin/service.hpp"
+#include "util/error.hpp"
+
+namespace pc = pyhpc::comm;
+namespace od = pyhpc::odin;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+pc::CommConfig config_with(std::shared_ptr<pc::FaultInjector> injector) {
+  pc::CommConfig cfg;
+  cfg.injector = std::move(injector);
+  return cfg;
+}
+
+od::ServiceOptions fast_service_options() {
+  od::ServiceOptions opts;
+  opts.driver.ack_timeout = 60ms;
+  opts.driver.max_retries = 12;
+  opts.driver.reply_timeout = 2000ms;
+  return opts;
+}
+
+double metric(const std::string& name) {
+  auto& reg = pyhpc::obs::MetricsRegistry::global();
+  return reg.has(name) ? reg.value(name) : 0.0;
+}
+
+// Exact per-session workload: base = full(n, v); iters chained
+// cur <- 1.0 * cur + base; reduce == n * v * (iters + 1).
+double run_session_pipeline(od::Session& s, std::int64_t n, double v,
+                            int iters) {
+  const int base = s.create_full(n, v);
+  int cur = base;
+  for (int i = 0; i < iters; ++i) cur = s.axpy(1.0, cur, base);
+  return s.reduce_sum(cur);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Basics: one session, multiplexing, coalescing
+// ---------------------------------------------------------------------------
+
+TEST(Service, SingleSessionPipelineIsExact) {
+  pc::run(3, [](pc::Communicator& comm) {
+    od::ServiceContext svc(comm, fast_service_options());
+    if (!svc.is_driver()) {
+      svc.worker_loop();
+      return;
+    }
+    od::Session s = svc.open_session();
+    EXPECT_NEAR(run_session_pipeline(s, 60, 2.0, 9), 60 * 2.0 * 10, 1e-9);
+    s.close();
+    svc.shutdown();
+  });
+}
+
+TEST(Service, SessionsShareNoArrayNamespace) {
+  // Both sessions' first arrays get array id 1 — worker-side session
+  // namespacing must keep them distinct objects with distinct values.
+  pc::run(3, [](pc::Communicator& comm) {
+    od::ServiceContext svc(comm, fast_service_options());
+    if (!svc.is_driver()) {
+      svc.worker_loop();
+      return;
+    }
+    od::Session s1 = svc.open_session();
+    od::Session s2 = svc.open_session();
+    const int a1 = s1.create_full(40, 3.0);
+    const int a2 = s2.create_full(40, 5.0);
+    EXPECT_EQ(a1, a2);  // same per-session id, different namespaces
+    // Interleave traffic so the messages coalesce into shared payloads.
+    const int b1 = s1.axpy(2.0, a1, a1);  // 3*2+3 = 9
+    const int b2 = s2.axpy(2.0, a2, a2);  // 5*2+5 = 15
+    EXPECT_NEAR(s1.reduce_sum(b1), 40 * 9.0, 1e-9);
+    EXPECT_NEAR(s2.reduce_sum(b2), 40 * 15.0, 1e-9);
+    EXPECT_NEAR(s1.reduce_sum(a1), 40 * 3.0, 1e-9);
+    EXPECT_NEAR(s2.reduce_sum(a2), 40 * 5.0, 1e-9);
+    s1.close();
+    s2.close();
+    svc.shutdown();
+  });
+}
+
+TEST(Service, CoalescingShipsFewerPayloadsThanMessages) {
+  pc::run(3, [](pc::Communicator& comm) {
+    od::ServiceOptions opts = fast_service_options();
+    opts.batch_messages = 16;
+    opts.batch_window = 10s;  // size-triggered only: deterministic count
+    od::ServiceContext svc(comm, opts);
+    if (!svc.is_driver()) {
+      svc.worker_loop();
+      return;
+    }
+    od::Session s = svc.open_session();
+    const int base = s.create_full(50, 1.0);
+    int cur = base;
+    for (int i = 0; i < 30; ++i) cur = s.axpy(1.0, cur, base);
+    const double total = s.reduce_sum(cur);  // flushes the tail
+    EXPECT_NEAR(total, 50 * 31.0, 1e-9);
+    // 32 ops + 1 reduce submitted; windows of 16 → far fewer batches.
+    EXPECT_GE(svc.messages_submitted(), 32u);
+    EXPECT_LE(svc.batches_shipped(), 4u);
+    s.close();
+    svc.shutdown();
+  });
+}
+
+TEST(Service, TimeWindowFlushesWithoutReachingSizeWindow) {
+  pc::run(2, [](pc::Communicator& comm) {
+    od::ServiceOptions opts = fast_service_options();
+    opts.batch_messages = 1000;     // never size-triggered
+    opts.batch_window = 1ms;        // time window does the work
+    od::ServiceContext svc(comm, opts);
+    if (!svc.is_driver()) {
+      svc.worker_loop();
+      return;
+    }
+    od::Session s = svc.open_session();
+    const int a = s.create_full(30, 4.0);
+    std::this_thread::sleep_for(5ms);
+    // This submit finds the window expired and flushes both messages.
+    const int b = s.axpy(1.0, a, a);
+    EXPECT_EQ(svc.pending_messages(), 0u);
+    EXPECT_NEAR(s.reduce_sum(b), 30 * 8.0, 1e-9);
+    s.close();
+    svc.shutdown();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: shed and park
+// ---------------------------------------------------------------------------
+
+TEST(Service, ShedPolicyRejectsOverflowWithoutSideEffects) {
+  pc::run(2, [](pc::Communicator& comm) {
+    od::ServiceOptions opts = fast_service_options();
+    opts.session_queue_limit = 4;
+    opts.overload = od::OverloadPolicy::kShed;
+    opts.batch_messages = 1000;  // no size flush: force the queue to fill
+    opts.batch_window = 10s;
+    od::ServiceContext svc(comm, opts);
+    if (!svc.is_driver()) {
+      svc.worker_loop();
+      return;
+    }
+    od::Session s = svc.open_session();
+    const int base = s.create_full(20, 1.0);
+    int cur = base;
+    for (int i = 0; i < 3; ++i) cur = s.axpy(1.0, cur, base);  // queue full
+    EXPECT_THROW((void)s.axpy(1.0, cur, base), pyhpc::QueueFullError);
+    EXPECT_GE(svc.sheds(), 1u);
+    // The shed op was never queued: the pipeline result is exactly the
+    // four admitted messages' worth.
+    EXPECT_NEAR(s.reduce_sum(cur), 20 * 4.0, 1e-9);
+    s.close();
+    svc.shutdown();
+  });
+}
+
+TEST(Service, ParkPolicyCompletesEverything) {
+  pc::run(3, [](pc::Communicator& comm) {
+    od::ServiceOptions opts = fast_service_options();
+    opts.session_queue_limit = 4;
+    opts.overload = od::OverloadPolicy::kPark;
+    opts.batch_messages = 1000;
+    opts.batch_window = 10s;
+    od::ServiceContext svc(comm, opts);
+    if (!svc.is_driver()) {
+      svc.worker_loop();
+      return;
+    }
+    od::Session s = svc.open_session();
+    // 41 messages through a queue of 4: the submitting thread parks
+    // (drains the backlog itself) instead of shedding; nothing is lost.
+    EXPECT_NEAR(run_session_pipeline(s, 30, 1.0, 39), 30 * 40.0, 1e-9);
+    EXPECT_GE(svc.parks(), 1u);
+    EXPECT_EQ(svc.sheds(), 0u);
+    s.close();
+    svc.shutdown();
+  });
+}
+
+TEST(Service, FloodingShedSessionDoesNotStarveOthers) {
+  pc::run(3, [](pc::Communicator& comm) {
+    od::ServiceOptions opts = fast_service_options();
+    opts.session_queue_limit = 8;
+    opts.overload = od::OverloadPolicy::kShed;
+    opts.batch_messages = 1000;
+    opts.batch_window = 10s;
+    od::ServiceContext svc(comm, opts);
+    if (!svc.is_driver()) {
+      svc.worker_loop();
+      return;
+    }
+    od::Session victim = svc.open_session();
+    od::Session flooder = svc.open_session();
+    const int vbase = victim.create_full(24, 2.0);
+    const int fbase = flooder.create_full(24, 1.0);
+    int vcur = vbase;
+    int fcur = fbase;
+    std::uint64_t shed_count = 0;
+    for (int i = 0; i < 50; ++i) {
+      try {
+        fcur = flooder.axpy(1.0, fcur, fbase);
+      } catch (const pyhpc::QueueFullError&) {
+        ++shed_count;
+      }
+      // The victim's queue is its own: the flooder filling up never
+      // blocks or sheds the victim's submits.
+      if (i < 6) vcur = victim.axpy(1.0, vcur, vbase);
+    }
+    EXPECT_GT(shed_count, 0u);
+    EXPECT_NEAR(victim.reduce_sum(vcur), 24 * 2.0 * 7, 1e-9);
+    victim.close();
+    flooder.close();
+    svc.shutdown();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Session lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(Service, AbruptCloseFreesSegmentsAndLeavesOthersIntact) {
+  pc::run(3, [](pc::Communicator& comm) {
+    od::ServiceContext svc(comm, fast_service_options());
+    if (!svc.is_driver()) {
+      svc.worker_loop();
+      return;
+    }
+    od::Session keeper = svc.open_session();
+    const int kept = keeper.create_full(32, 7.0);
+    {
+      od::Session doomed = svc.open_session();
+      (void)doomed.create_full(32, 9.0);
+      (void)doomed.create_full(64, 3.0);
+      // Destructor closes: workers drop the session's segments.
+    }
+    EXPECT_EQ(svc.open_sessions(), 1u);
+    EXPECT_NEAR(keeper.reduce_sum(kept), 32 * 7.0, 1e-9);
+    keeper.close();
+    svc.shutdown();
+  });
+}
+
+TEST(Service, ClosedHandleRejectsFurtherUse) {
+  pc::run(2, [](pc::Communicator& comm) {
+    od::ServiceContext svc(comm, fast_service_options());
+    if (!svc.is_driver()) {
+      svc.worker_loop();
+      return;
+    }
+    od::Session s = svc.open_session();
+    (void)s.create_full(10, 1.0);
+    s.close();
+    s.close();  // idempotent
+    EXPECT_FALSE(s.valid());
+    EXPECT_THROW((void)s.create_full(10, 1.0), pyhpc::InvalidArgument);
+    svc.shutdown();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Setup cache (kBlockSolve repeated-structure workload)
+// ---------------------------------------------------------------------------
+
+TEST(Service, BlockSolveUsesSetupCacheAcrossSessions) {
+  const double hits_before = metric("service.cache.hits");
+  const double misses_before = metric("service.cache.misses");
+  pc::run(3, [](pc::Communicator& comm) {
+    od::ServiceContext svc(comm, fast_service_options());
+    if (!svc.is_driver()) {
+      svc.worker_loop();
+      // Each worker built the size-20 Thomas setup once, then hit.
+      EXPECT_EQ(svc.setup_cache().stats().entries, 1u);
+      return;
+    }
+    // n = 40 over 2 workers: local blocks of m = 20. Solving the local
+    // tridiag(-1,2,-1) system T x = ones gives sum(x) = m(m+1)(m+2)/12
+    // per worker = 770, so the global reduce is exactly 1540.
+    const double expected_per_worker = 20.0 * 21.0 * 22.0 / 12.0;
+    for (int round = 0; round < 3; ++round) {
+      od::Session s = svc.open_session();
+      const int ones = s.create_full(40, 1.0);
+      const int x = s.block_solve(ones);
+      EXPECT_NEAR(s.reduce_sum(x), 2.0 * expected_per_worker, 1e-9)
+          << "round " << round;
+      s.close();
+    }
+    svc.shutdown();
+  });
+  // 2 workers x 3 rounds = 6 solves of one structure: 2 misses (first
+  // round), 4 hits (later rounds) — the repeated-structure workload the
+  // cache exists for.
+  EXPECT_GE(metric("service.cache.hits"), hits_before + 4.0);
+  EXPECT_GE(metric("service.cache.misses"), misses_before + 2.0);
+}
+
+TEST(Service, BlockSolveDistinctStructuresMissSeparately) {
+  pc::run(2, [](pc::Communicator& comm) {
+    od::ServiceOptions opts = fast_service_options();
+    opts.driver.setup_cache_capacity = 8;
+    od::ServiceContext svc(comm, opts);
+    if (!svc.is_driver()) {
+      svc.worker_loop();
+      const auto st = svc.setup_cache().stats();
+      EXPECT_EQ(st.entries, 2u);  // sizes 12 and 30
+      EXPECT_GE(st.hits, 2u);     // one repeat of each
+      return;
+    }
+    od::Session s = svc.open_session();
+    for (int round = 0; round < 2; ++round) {
+      for (std::int64_t n : {12, 30}) {
+        const int ones = s.create_full(n, 1.0);
+        const int x = s.block_solve(ones);
+        const double m = static_cast<double>(n);  // one worker: m == n
+        EXPECT_NEAR(s.reduce_sum(x), m * (m + 1.0) * (m + 2.0) / 12.0,
+                    1e-9);
+      }
+    }
+    s.close();
+    svc.shutdown();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent-session matrix: 2-8 client threads x batching x injection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class Inject { kNone, kDrop, kDuplicate, kDelay };
+
+std::shared_ptr<pc::FaultInjector> make_injector(Inject mode,
+                                                 std::uint64_t seed) {
+  auto inj = std::make_shared<pc::FaultInjector>(seed);
+  if (mode == Inject::kNone) return inj;
+  pc::FaultRule rule;
+  rule.source = 0;
+  rule.tag = od::kControlTag;
+  switch (mode) {
+    case Inject::kDrop:
+      rule.kind = pc::FaultKind::kDrop;
+      rule.probability = 0.08;
+      break;
+    case Inject::kDuplicate:
+      rule.kind = pc::FaultKind::kDuplicate;
+      rule.probability = 0.15;
+      break;
+    case Inject::kDelay:
+      rule.kind = pc::FaultKind::kDelay;
+      rule.probability = 0.15;
+      rule.delay = 5ms;
+      break;
+    case Inject::kNone:
+      break;
+  }
+  inj->add_rule(rule);
+  return inj;
+}
+
+// One cell of the matrix: `num_sessions` client threads hammer one
+// ServiceContext concurrently; every session's reduce must be exactly its
+// own pipeline's value (isolation), regardless of batching or injection.
+void run_matrix_cell(int num_sessions, bool batching, Inject mode) {
+  auto inj = make_injector(
+      mode, 1000 + static_cast<std::uint64_t>(num_sessions) * 10 +
+                static_cast<std::uint64_t>(batching));
+  pc::run(3, config_with(inj),
+          [num_sessions, batching](pc::Communicator& comm) {
+            od::ServiceOptions opts = fast_service_options();
+            opts.batch_messages = batching ? 32 : 1;
+            opts.batch_window =
+                batching ? std::chrono::microseconds(300) : 0us;
+            od::ServiceContext svc(comm, opts);
+            if (!svc.is_driver()) {
+              svc.worker_loop();
+              return;
+            }
+            std::vector<std::thread> clients;
+            std::atomic<int> failures{0};
+            for (int c = 0; c < num_sessions; ++c) {
+              clients.emplace_back([&svc, &failures, c] {
+                od::Session s = svc.open_session();
+                const double v = static_cast<double>(c + 1);
+                const std::int64_t n = 24;
+                const int iters = 6;
+                const double got = run_session_pipeline(s, n, v, iters);
+                const double want =
+                    static_cast<double>(n) * v * (iters + 1);
+                if (std::abs(got - want) > 1e-9) ++failures;
+                s.close();
+              });
+            }
+            for (auto& t : clients) t.join();
+            EXPECT_EQ(failures.load(), 0)
+                << num_sessions << " sessions, batching=" << batching;
+            svc.shutdown();
+          });
+}
+
+}  // namespace
+
+TEST(ServiceMatrix, CleanLink) {
+  for (int sessions : {2, 4, 8}) {
+    for (bool batching : {false, true}) {
+      run_matrix_cell(sessions, batching, Inject::kNone);
+    }
+  }
+}
+
+TEST(ServiceMatrix, DroppedControlPayloads) {
+  for (int sessions : {2, 4, 8}) {
+    for (bool batching : {false, true}) {
+      run_matrix_cell(sessions, batching, Inject::kDrop);
+    }
+  }
+}
+
+TEST(ServiceMatrix, DuplicatedControlPayloads) {
+  for (int sessions : {2, 4, 8}) {
+    for (bool batching : {false, true}) {
+      run_matrix_cell(sessions, batching, Inject::kDuplicate);
+    }
+  }
+}
+
+TEST(ServiceMatrix, DelayedControlPayloads) {
+  for (int sessions : {2, 4}) {  // delays are wall-clock: keep it light
+    for (bool batching : {false, true}) {
+      run_matrix_cell(sessions, batching, Inject::kDelay);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure surfaces
+// ---------------------------------------------------------------------------
+
+TEST(Service, WorkerDeathSurfacesAsWorkerLost) {
+  auto inj = std::make_shared<pc::FaultInjector>(3);
+  pc::FaultRule kill;
+  kill.kind = pc::FaultKind::kKillRank;
+  kill.source = 0;
+  kill.dest = 1;
+  kill.tag = od::kControlTag;
+  kill.skip_first = 2;
+  kill.max_applications = 1;
+  inj->add_rule(kill);
+  try {
+    pc::run(3, config_with(inj), [](pc::Communicator& comm) {
+      od::ServiceOptions opts = fast_service_options();
+      opts.batch_messages = 1;  // ship per-op so the kill lands mid-stream
+      od::ServiceContext svc(comm, opts);
+      if (!svc.is_driver()) {
+        svc.worker_loop();
+        return;
+      }
+      od::Session s = svc.open_session();
+      const int base = s.create_full(40, 1.0);
+      int cur = base;
+      for (int i = 0; i < 10; ++i) {
+        cur = s.axpy(1.0, cur, base);
+        (void)s.reduce_sum(cur);
+      }
+      FAIL() << "expected WorkerLostError";
+    });
+    FAIL() << "expected WorkerLostError to propagate out of run()";
+  } catch (const pyhpc::WorkerLostError& e) {
+    EXPECT_NE(std::string(e.what()).find("worker rank 1"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(inj->counts().kills, 1u);
+}
+
+TEST(Service, BadOpFromOneSessionIsContainedOnWorkers) {
+  const double before = metric("driver.worker_op_errors");
+  pc::run(3, [](pc::Communicator& comm) {
+    od::ServiceContext svc(comm, fast_service_options());
+    if (!svc.is_driver()) {
+      svc.worker_loop();
+      return;
+    }
+    od::Session good = svc.open_session();
+    od::Session bad = svc.open_session();
+    const int g = good.create_full(28, 2.0);
+    // Session `bad` references an array id it never created. The workers
+    // contain the failure; a reduce on the dangling id replies NaN
+    // instead of hanging the collection loop.
+    (void)bad.axpy(1.0, 77, 77);
+    EXPECT_TRUE(std::isnan(bad.reduce_sum(99)));
+    // The good session is untouched by its neighbour's garbage.
+    EXPECT_NEAR(good.reduce_sum(g), 28 * 2.0, 1e-9);
+    good.close();
+    bad.close();
+    svc.shutdown();
+  });
+  EXPECT_GE(metric("driver.worker_op_errors"), before + 2.0);
+}

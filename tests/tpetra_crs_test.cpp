@@ -313,3 +313,74 @@ TEST_P(CrsRankSweep, ColMapOrdersOwnedThenGhost) {
     EXPECT_LE(cmap.num_local() - map.num_local(), 2);
   });
 }
+
+// ---------------------------------------------------------------------------
+// Structure fingerprints and the cached Import adapter (DESIGN.md §10)
+// ---------------------------------------------------------------------------
+
+#include "tpetra/structure.hpp"
+#include "util/setup_cache.hpp"
+
+TEST_P(CrsRankSweep, StructureFingerprintIgnoresValues) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    auto map = MapT::uniform(comm, 20);
+    MatD a = laplace1d(map);
+    MatD b = laplace1d(map);
+    b.scale(3.0);  // same sparsity, different values
+    EXPECT_EQ(tp::structure_fingerprint(a), tp::structure_fingerprint(b));
+  });
+}
+
+TEST_P(CrsRankSweep, StructureFingerprintSeesShapeChanges) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    auto map20 = MapT::uniform(comm, 20);
+    auto map24 = MapT::uniform(comm, 24);
+    EXPECT_NE(tp::structure_fingerprint(map20),
+              tp::structure_fingerprint(map24));
+    MatD a = laplace1d(map20);
+    // Diagonal-only matrix over the same map: different sparsity.
+    MatD d(map20);
+    for (LO i = 0; i < map20.num_local(); ++i) {
+      const GO g = map20.local_to_global(i);
+      d.insert_global_value(g, g, 1.0);
+    }
+    d.fill_complete();
+    EXPECT_NE(tp::structure_fingerprint(a), tp::structure_fingerprint(d));
+  });
+}
+
+TEST_P(CrsRankSweep, CachedImportReusesThePlan) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    pyhpc::util::SetupCache cache(4, "test.tpetra.cache");
+    auto owned = MapT::uniform(comm, 18);
+    // Overlapping target: every rank also wants the halo of its block.
+    std::vector<GO> wanted;
+    for (LO i = 0; i < owned.num_local(); ++i) {
+      wanted.push_back(owned.local_to_global(i));
+    }
+    if (!wanted.empty()) {
+      if (wanted.front() > 0) wanted.insert(wanted.begin(), wanted.front() - 1);
+      if (wanted.back() + 1 < owned.num_global()) {
+        wanted.push_back(wanted.back() + 1);
+      }
+    }
+    auto target = MapT::from_global_indices(comm, std::span<const GO>(wanted));
+    // Identical request stream on every rank: miss once, hit afterwards
+    // (the lockstep requirement documented on cached_import).
+    auto p1 = tp::cached_import(cache, owned, target);
+    auto p2 = tp::cached_import(cache, owned, target);
+    EXPECT_EQ(p1.get(), p2.get());
+    EXPECT_EQ(cache.stats().hits, 1u);
+    // The cached plan actually moves data: import an owned vector into the
+    // overlapped layout and check the halo values arrived.
+    VecD src(owned), dst(target);
+    for (LO i = 0; i < owned.num_local(); ++i) {
+      src[i] = static_cast<double>(owned.local_to_global(i));
+    }
+    p1->apply(std::span<const double>(src.local_view()),
+              std::span<double>(dst.local_view()));
+    for (LO i = 0; i < target.num_local(); ++i) {
+      EXPECT_DOUBLE_EQ(dst[i], static_cast<double>(target.local_to_global(i)));
+    }
+  });
+}

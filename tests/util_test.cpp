@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/random.hpp"
@@ -171,4 +174,105 @@ TEST(DenseLU, SizeMismatchRejected) {
   pu::DenseLU lu(1, {2.0});
   EXPECT_THROW((void)lu.solve(std::vector<double>{1.0, 2.0}),
                pyhpc::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// SetupCache (service-layer structure-keyed artifact store)
+// ---------------------------------------------------------------------------
+
+#include "util/setup_cache.hpp"
+
+TEST(SetupCache, BuildOnceThenHit) {
+  pu::SetupCache cache(4, "test.cache.a");
+  int builds = 0;
+  auto build = [&builds] {
+    ++builds;
+    return std::make_shared<int>(41 + builds);
+  };
+  EXPECT_EQ(*cache.get_or_build<int>("k", build), 42);
+  EXPECT_EQ(*cache.get_or_build<int>("k", build), 42);  // cached, not 43
+  EXPECT_EQ(builds, 1);
+  const auto st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.entries, 1u);
+}
+
+TEST(SetupCache, LruEvictionDropsColdestEntry) {
+  pu::SetupCache cache(2, "test.cache.b");
+  auto mk = [](int v) { return [v] { return std::make_shared<int>(v); }; };
+  (void)cache.get_or_build<int>("a", mk(1));
+  (void)cache.get_or_build<int>("b", mk(2));
+  (void)cache.get_or_build<int>("a", mk(0));  // refresh: a is now MRU
+  (void)cache.get_or_build<int>("c", mk(3));  // evicts b, not a
+  EXPECT_TRUE(cache.contains("a"));
+  EXPECT_FALSE(cache.contains("b"));
+  EXPECT_TRUE(cache.contains("c"));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SetupCache, DistinctTypesUnderDistinctKeys) {
+  pu::SetupCache cache(8, "test.cache.c");
+  auto i = cache.get_or_build<int>("int", [] {
+    return std::make_shared<int>(7);
+  });
+  auto s = cache.get_or_build<std::string>("str", [] {
+    return std::make_shared<std::string>("seven");
+  });
+  EXPECT_EQ(*i, 7);
+  EXPECT_EQ(*s, "seven");
+}
+
+TEST(SetupCache, ConcurrentGetOrBuildSharesOneValue) {
+  // Many threads race to build the same key; first insert wins and every
+  // caller ends up sharing that value (duplicate builds allowed, counted
+  // as misses — never two live artifacts for one key).
+  pu::SetupCache cache(8, "test.cache.d");
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<int>> got(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &got, t] {
+      got[static_cast<std::size_t>(t)] = cache.get_or_build<int>(
+          "shared", [t] { return std::make_shared<int>(100 + t); });
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < 8; ++t) {
+    EXPECT_EQ(got[static_cast<std::size_t>(t)].get(), got[0].get());
+  }
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SetupCache, ClearEmptiesEntriesButKeepsCounters) {
+  pu::SetupCache cache(4, "test.cache.e");
+  (void)cache.get_or_build<int>("x", [] { return std::make_shared<int>(1); });
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.contains("x"));
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(SetupCache, RejectsZeroCapacity) {
+  EXPECT_THROW(pu::SetupCache(0), pyhpc::InvalidArgument);
+}
+
+TEST(Fingerprint, DeterministicAndOrderSensitive) {
+  pu::Fingerprint a, b, c;
+  a.mix(1).mix(2);
+  b.mix(1).mix(2);
+  c.mix(2).mix(1);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(Fingerprint, EmptyBytesAreSafeAndNeutralInputsDiffer) {
+  pu::Fingerprint a;
+  const auto before = a.digest();
+  a.mix_bytes(nullptr, 0);  // empty vector's data() may be null
+  EXPECT_EQ(a.digest(), before);
+  pu::Fingerprint x, y;
+  x.mix_bytes("ab", 2);
+  y.mix_bytes("ba", 2);
+  EXPECT_NE(x.digest(), y.digest());
 }

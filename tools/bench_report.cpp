@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "odin/dist_array.hpp"
+#include "odin/service.hpp"
 #include "seamless/seamless.hpp"
 #include "solvers/krylov.hpp"
 #include "teuchos/timer.hpp"
@@ -78,6 +79,27 @@ void run_smoke_workloads() {
       auto b = gl::rhs_for_ones(a);
       gl::Vector x(map, 0.0);
       (void)sv::cg_solve(a, b, x);
+    });
+
+    // Driver service (service.* submission/batch/cache counters +
+    // service.flush spans): two sessions over one control plane, a
+    // repeated-structure block solve to exercise the setup cache.
+    pc::run(3, [](pc::Communicator& comm) {
+      od::ServiceContext svc(comm, od::ServiceOptions{});
+      if (!svc.is_driver()) {
+        svc.worker_loop();
+        return;
+      }
+      for (int c = 0; c < 2; ++c) {
+        od::Session s = svc.open_session();
+        const int x = s.create_full(32, 1.0);
+        const int u = s.block_solve(x);
+        (void)s.reduce_sum(u);
+        const int v = s.block_solve(x);  // same structure: cache hit
+        (void)s.reduce_sum(v);
+        s.close();
+      }
+      svc.shutdown();
     });
 
     // Seamless JIT (lex/parse/compile/exec spans).

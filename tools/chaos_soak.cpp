@@ -11,6 +11,7 @@
 //
 // Exit code 0 iff every seed passed. Registered as the `soak` CTest label
 // by tools/CMakeLists.txt; tools/run_soak.sh is the command-line front end.
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -18,11 +19,13 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "comm/config.hpp"
 #include "comm/fault.hpp"
 #include "comm/runner.hpp"
+#include "odin/service.hpp"
 #include "obs/metrics.hpp"
 #include "solvers/resilient.hpp"
 #include "tpetra/crs_matrix.hpp"
@@ -242,6 +245,80 @@ void zero_copy_pipeline(std::uint64_t seed) {
   });
 }
 
+// Scenario D: service storm — a multiplexed driver service (DESIGN.md
+// §10) with 2–4 concurrent client sessions running exact arithmetic
+// pipelines while drop/duplicate/delay rules perturb the control tag.
+// Session isolation and the epoch/sequence protocol must keep every
+// session's reduce exact despite retransmissions and stale duplicates.
+void service_storm(std::uint64_t seed) {
+  namespace po = pyhpc::odin;
+  pu::SplitMix64 rng(seed);
+  auto inj = std::make_shared<pc::FaultInjector>(seed);
+  const int nranks = 3 + static_cast<int>(rng.next() % 3);  // 3..5
+  {
+    pc::FaultRule drop;
+    drop.kind = pc::FaultKind::kDrop;
+    drop.tag = po::kControlTag;
+    drop.probability = 0.08;
+    inj->add_rule(drop);
+    pc::FaultRule dup;
+    dup.kind = pc::FaultKind::kDuplicate;
+    dup.tag = po::kControlTag;
+    dup.probability = 0.12;
+    inj->add_rule(dup);
+    pc::FaultRule delay;
+    delay.kind = pc::FaultKind::kDelay;
+    delay.tag = po::kControlTag;
+    delay.delay = std::chrono::milliseconds(1 + rng.next() % 6);
+    delay.probability = 0.10;
+    inj->add_rule(delay);
+  }
+  const int nsessions = 2 + static_cast<int>(rng.next() % 3);  // 2..4
+  const int iters = 3 + static_cast<int>(rng.next() % 4);      // 3..6
+  const std::int64_t n = 24 + static_cast<std::int64_t>(rng.next() % 5) *
+                                  static_cast<std::int64_t>(nranks - 1);
+  pc::CommConfig cfg;
+  cfg.injector = inj;
+  cfg.recv_timeout = 5000ms;
+  pc::run(nranks, cfg, [&](pc::Communicator& comm) {
+    po::ServiceOptions opts;
+    opts.driver.ack_timeout = 60ms;
+    opts.driver.max_retries = 12;
+    opts.driver.reply_timeout = 2000ms;
+    opts.overload = po::OverloadPolicy::kPark;
+    opts.batch_messages = 1 + static_cast<std::size_t>(seed % 8);
+    po::ServiceContext svc(comm, opts);
+    if (!svc.is_driver()) {
+      svc.worker_loop();
+      return;
+    }
+    std::vector<std::thread> clients;
+    std::atomic<int> bad{0};
+    for (int c = 0; c < nsessions; ++c) {
+      clients.emplace_back([&svc, &bad, c, iters, n] {
+        try {
+          po::Session s = svc.open_session();
+          const double v = static_cast<double>(c + 1);
+          const int base = s.create_full(n, v);
+          int acc = s.create_full(n, v);
+          for (int i = 0; i < iters; ++i) acc = s.axpy(1.0, base, acc);
+          const double got = s.reduce_sum(acc);
+          const double want = static_cast<double>(n) * v *
+                              static_cast<double>(iters + 1);
+          check(std::abs(got - want) < 1e-9 * want,
+                "service session pipeline drifted");
+          s.close();
+        } catch (...) {
+          bad.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    svc.shutdown();
+    check(bad.load() == 0, "service storm: a session failed under noise");
+  });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -273,7 +350,8 @@ int main(int argc, char** argv) {
   };
   const Scenario scenarios[] = {{"collective_storm", collective_storm},
                                 {"resilient_cg", resilient_cg},
-                                {"zero_copy_pipeline", zero_copy_pipeline}};
+                                {"zero_copy_pipeline", zero_copy_pipeline},
+                                {"service_storm", service_storm}};
 
   std::vector<Failure> failures;
   int ran = 0;
