@@ -1329,12 +1329,20 @@ class Communicator {
   void revoke() { ctx_->revoke(); }
   bool revoked() const { return ctx_->is_revoked(); }
 
+  /// Contribution flag for agree(): "this rank observed a failure that left
+  /// no corpse" (a starved receive, a revocation). Lives in the top bit so
+  /// it can never collide with a rank bit below size() < 64; callers that
+  /// need it must therefore run on fewer than 64 ranks.
+  static constexpr std::uint64_t kAgreeFailureFlag = std::uint64_t{1} << 63;
+
   /// Fault-tolerant agreement on the dead-rank bitmask (bit r = rank r
   /// dead). Every surviving rank must call it once per recovery round;
   /// the result is identical on all of them: the OR of every rank's
   /// `local_dead_mask` plus all ranks that are killed (or already
   /// returned). Works on a revoked communicator and tolerates ranks dying
-  /// mid-agreement (they are excused and folded into the result).
+  /// mid-agreement (they are excused and folded into the result). Bits at
+  /// or above size() pass through untouched, so callers can piggyback
+  /// flags (kAgreeFailureFlag) on the same round.
   std::uint64_t agree(std::uint64_t local_dead_mask = 0) {
     return ctx_->agree(rank_, local_dead_mask);
   }
@@ -1400,10 +1408,20 @@ class Communicator {
   Envelope pop(int source, int tag,
                std::optional<std::chrono::milliseconds> timeout_override =
                    std::nullopt) {
+    Mailbox::WaitOptions w = wait_options(timeout_override);
+    // Same fast peer-death detection as coll_pop: a p2p receive from a
+    // specific dead source can never be satisfied (queued matches still
+    // deliver first), so fail fast instead of waiting out the watchdog.
+    // Split-phase Import waits (halo exchange) ride on this path, so a
+    // rank killed mid-exchange surfaces to its peers as PeerKilledError —
+    // inside resilient_solve's recovery scope — rather than a deadlock.
+    if (source != kAnySource && source != rank_) {
+      w.peer_killed = &ctx_->killed_flag(source);
+      w.peer_rank = source;
+    }
     Envelope env = [&] {
       try {
-        return ctx_->mailbox(rank_).pop_matching(
-            source, tag, wait_options(timeout_override));
+        return ctx_->mailbox(rank_).pop_matching(source, tag, w);
       } catch (const RecvTimeoutError&) {
         ++stats().timeouts;
         throw;

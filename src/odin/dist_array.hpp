@@ -411,9 +411,15 @@ DistArray<T> redistribute(const DistArray<T>& a, const Distribution& target) {
   std::vector<std::vector<Entry>> outgoing(static_cast<std::size_t>(p));
   for (index_t l = 0; l < a.local_size(); ++l) {
     const auto gidx = a.dist().global_of_local(l);
-    const auto [owner, lidx] = target.owner_of(gidx);
-    outgoing[static_cast<std::size_t>(owner)].push_back(
-        Entry{lidx, a.local_view()[static_cast<std::size_t>(l)]});
+    // Only the canonical replica sends (a replicated source holds every
+    // element on every rank — without this, p copies race to the target);
+    // and each element goes to every target replica, not just the
+    // canonical one (a replicated target stores a copy per rank).
+    if (a.dist().owner_of(gidx).first != comm.rank()) continue;
+    for (const auto& [owner, lidx] : target.owners_of(gidx)) {
+      outgoing[static_cast<std::size_t>(owner)].push_back(
+          Entry{lidx, a.local_view()[static_cast<std::size_t>(l)]});
+    }
   }
   auto incoming = comm.alltoallv(outgoing);
 
@@ -436,7 +442,10 @@ index_t redistribution_cost(const DistArray<T>& a, const Distribution& target) {
   index_t moving = 0;
   for (index_t l = 0; l < a.local_size(); ++l) {
     const auto gidx = a.dist().global_of_local(l);
-    if (target.owner_of(gidx).first != a.dist().rank()) ++moving;
+    if (a.dist().owner_of(gidx).first != a.dist().rank()) continue;
+    for (const auto& [owner, lidx] : target.owners_of(gidx)) {
+      if (owner != a.dist().rank()) ++moving;
+    }
   }
   return a.dist().comm().allreduce_value(moving, std::plus<index_t>{});
 }

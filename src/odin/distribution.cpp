@@ -267,6 +267,21 @@ std::pair<int, index_t> Distribution::owner_of(
   return {owner, local_shape_for(owner).linearize(lidx)};
 }
 
+std::vector<std::pair<int, index_t>> Distribution::owners_of(
+    const std::vector<index_t>& gidx) const {
+  const auto primary = owner_of(gidx);
+  // finalize() guarantees a non-empty grid covers the communicator
+  // exactly, so replicas exist only when the grid is empty (every axis
+  // replicated) — then each rank holds the element at the same offset.
+  if (!grid_.empty() || comm_->size() == 1) return {primary};
+  std::vector<std::pair<int, index_t>> all;
+  all.reserve(static_cast<std::size_t>(comm_->size()));
+  for (int q = 0; q < comm_->size(); ++q) {
+    all.emplace_back(q, primary.second);
+  }
+  return all;
+}
+
 std::vector<index_t> Distribution::global_of_local_for(
     int rank, index_t local_linear) const {
   const auto coords = grid_coords(rank);

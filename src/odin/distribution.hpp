@@ -99,7 +99,16 @@ class Distribution {
   /// Owning rank and local linear offset of a global multi-index. For
   /// axes replicated across a grid dimension the owner is the rank whose
   /// other coordinates match; replicated axes do not affect ownership.
+  /// When the element is replicated on several ranks this returns the
+  /// canonical (lowest-rank) copy — use owners_of for all of them.
   std::pair<int, index_t> owner_of(const std::vector<index_t>& gidx) const;
+
+  /// Every (rank, local linear offset) holding a copy of `gidx`. A fully
+  /// distributed layout has exactly one; a replicated distribution (empty
+  /// process grid) stores a copy on every rank. Writers — redistribute in
+  /// particular — must hit all of them, not just the canonical owner.
+  std::vector<std::pair<int, index_t>> owners_of(
+      const std::vector<index_t>& gidx) const;
 
   /// Global multi-index of a local linear offset on this rank.
   std::vector<index_t> global_of_local(index_t local_linear) const;

@@ -187,6 +187,10 @@ void DriverContext::await_ack_or_retry(
         if (ack.seq >= seq) return;
         // Stale ack from an earlier duplicate delivery; keep waiting.
       }
+    } catch (const PeerKilledError&) {
+      // Fast-path death detection: the receive failed the moment the
+      // worker died instead of waiting out the ack timeout.
+      raise_worker_lost(worker, "control payload acknowledgement");
     } catch (const RecvTimeoutError&) {
       if (comm_->rank_dead(worker)) {
         raise_worker_lost(worker, "control payload acknowledgement");
@@ -326,12 +330,18 @@ double DriverContext::collect_reduce(std::int32_t session) {
     if (opts_.reliable) {
       try {
         total += comm_->recv_value_within<double>(opts_.reply_timeout, w, tag);
+      } catch (const PeerKilledError&) {
+        raise_worker_lost(w, "reduce_sum");
       } catch (const RecvTimeoutError&) {
         if (comm_->rank_dead(w)) raise_worker_lost(w, "reduce_sum");
         throw;
       }
     } else {
-      total += comm_->recv_value<double>(w, tag);
+      try {
+        total += comm_->recv_value<double>(w, tag);
+      } catch (const PeerKilledError&) {
+        raise_worker_lost(w, "reduce_sum");
+      }
     }
   }
   return total;

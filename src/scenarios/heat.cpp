@@ -1,0 +1,190 @@
+// Scenario (a): time-stepped 1D heat equation. Composes galeri assembly,
+// tpetra SpMV (split-phase halo overlap on the Crank–Nicolson RHS), the
+// Krylov CG solver, and — in the resilient variant — the full ULFM-style
+// recovery stack (checkpoint, revoke/agree/shrink, Isorropia rebalance).
+#include <algorithm>
+#include <cmath>
+
+#include "galeri/gallery.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "scenarios/scenarios.hpp"
+#include "solvers/krylov.hpp"
+#include "solvers/resilient.hpp"
+#include "tpetra/crs_matrix.hpp"
+#include "tpetra/map.hpp"
+#include "tpetra/vector.hpp"
+#include "util/string_util.hpp"
+
+namespace pyhpc::scenarios {
+
+namespace {
+
+using Map = tpetra::Map<>;
+using Matrix = tpetra::CrsMatrix<double>;
+using Vector = tpetra::Vector<double>;
+
+/// Initial condition: a smooth sine mode plus a sharper third harmonic, so
+/// the field has structure at several wavelengths and every interior rank
+/// holds nonzero data.
+double initial_u(std::int64_t g, std::int64_t n) {
+  const double x = static_cast<double>(g + 1) / static_cast<double>(n + 1);
+  return std::sin(M_PI * x) + 0.25 * std::sin(3.0 * M_PI * x);
+}
+
+/// Implicit-side stencil weight: c = r for backward Euler, r/2 for CN.
+double implicit_weight(const HeatOptions& o) {
+  return o.scheme == HeatScheme::kBackwardEuler ? o.r : 0.5 * o.r;
+}
+
+void arm_fault(comm::Communicator& comm, const HeatOptions& o) {
+  if (!o.fault || !o.injector) return;
+  // Arm only after assembly so setup is never the casualty; barriers make
+  // the arming point identical on every rank.
+  comm.barrier();
+  if (comm.rank() == 0) {
+    comm::FaultRule rule;
+    rule.kind = o.fault->kind;
+    rule.source = o.fault->victim;
+    rule.skip_first = o.fault->skip;
+    rule.max_applications = 1;
+    if (o.fault->kind == comm::FaultKind::kKillRank) {
+      rule.victim = o.fault->victim;
+    }
+    if (o.fault->kind == comm::FaultKind::kDelay) {
+      rule.delay = o.fault->delay;
+    }
+    o.injector->add_rule(rule);
+  }
+  comm.barrier();
+}
+
+}  // namespace
+
+HeatResult run_heat(comm::Communicator& comm, const HeatOptions& options) {
+  require(options.n >= 2, "run_heat: need at least two grid points");
+  require(options.steps >= 1, "run_heat: need at least one step");
+  require(!options.resilient || options.store != nullptr,
+          "run_heat: the resilient variant needs a shared CheckpointStore");
+  obs::Span span("scenario.heat_equation", "scenarios");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const double c = implicit_weight(options);
+  auto map = Map::uniform(comm, options.n);
+  // A = I + c L (SPD tridiagonal); B = I - c L for the CN right-hand side.
+  auto a = galeri::tridiag(map, -c, 1.0 + 2.0 * c, -c);
+  const bool cn = options.scheme == HeatScheme::kCrankNicolson;
+  std::optional<Matrix> b_op;
+  if (cn) b_op.emplace(galeri::tridiag(map, c, 1.0 - 2.0 * c, c));
+
+  Vector u(map), rhs(map);
+  for (std::int32_t i = 0; i < map.num_local(); ++i) {
+    u[i] = initial_u(map.local_to_global(i), options.n);
+  }
+
+  arm_fault(comm, options);
+
+  HeatResult result;
+  result.final_size = comm.size();
+  result.converged = true;
+  for (int step = 0; step < options.steps; ++step) {
+    if (cn) {
+      b_op->apply(u, rhs);  // split-phase halo overlap at p > 1
+    } else {
+      for (std::int32_t i = 0; i < map.num_local(); ++i) rhs[i] = u[i];
+    }
+
+    if (options.resilient) {
+      solvers::ResilientOptions ro;
+      ro.krylov.tolerance = options.tolerance;
+      ro.krylov.max_iterations = 4 * static_cast<int>(options.n) + 100;
+      ro.checkpoint_interval = 2;
+      ro.key = util::cat("heat.step", step);
+      auto res = solvers::resilient_solve(*options.store, a, rhs, u, ro);
+      result.solver_iterations += res.solve.iterations;
+      result.converged = result.converged && res.solve.converged;
+      result.u = std::move(res.x_global);
+      result.steps_completed = step + 1;
+      if (res.recoveries > 0) {
+        // The world shrank inside the solve; the original communicator is
+        // revoked, so the run ends here with the recovered field.
+        result.recoveries = res.recoveries;
+        result.final_size = res.final_size;
+        break;
+      }
+      result.final_size = res.final_size;
+      for (std::int32_t i = 0; i < map.num_local(); ++i) {
+        u[i] = result.u[static_cast<std::size_t>(map.local_to_global(i))];
+      }
+    } else {
+      solvers::KrylovOptions ko;
+      ko.tolerance = options.tolerance;
+      ko.max_iterations = 4 * static_cast<int>(options.n) + 100;
+      ko.record_history = false;
+      auto res = solvers::cg_solve(a, rhs, u, ko);  // warm start from u
+      result.solver_iterations += res.iterations;
+      result.converged = result.converged && res.converged;
+      result.steps_completed = step + 1;
+    }
+  }
+  if (!options.resilient) result.u = u.gather_global();
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  auto& reg = obs::MetricsRegistry::global();
+  reg.set("scenario.heat_equation.wall_ms", wall_ms);
+  reg.set("scenario.heat_equation.steps", result.steps_completed);
+  reg.set("scenario.heat_equation.solver_iterations", result.solver_iterations);
+  reg.set("scenario.heat_equation.recoveries", result.recoveries);
+  if (span.active()) {
+    span.arg("n", options.n);
+    span.arg("steps", static_cast<std::int64_t>(result.steps_completed));
+    span.arg("iterations",
+             static_cast<std::int64_t>(result.solver_iterations));
+  }
+  return result;
+}
+
+std::vector<double> heat_serial_reference(const HeatOptions& options) {
+  const auto n = static_cast<std::size_t>(options.n);
+  const double c = implicit_weight(options);
+  const bool cn = options.scheme == HeatScheme::kCrankNicolson;
+  std::vector<double> u(n), rhs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    u[i] = initial_u(static_cast<std::int64_t>(i), options.n);
+  }
+
+  // Thomas factorization of the constant tridiagonal A = I + c L
+  // (sub = sup = -c, diag = 1 + 2c): factor once, reuse every step.
+  const double diag = 1.0 + 2.0 * c;
+  std::vector<double> cp(n);  // modified superdiagonal
+  cp[0] = -c / diag;
+  for (std::size_t i = 1; i < n; ++i) {
+    cp[i] = -c / (diag + c * cp[i - 1]);
+  }
+
+  for (int step = 0; step < options.steps; ++step) {
+    if (cn) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double left = i > 0 ? u[i - 1] : 0.0;
+        const double right = i + 1 < n ? u[i + 1] : 0.0;
+        rhs[i] = (1.0 - 2.0 * c) * u[i] + c * (left + right);
+      }
+    } else {
+      rhs = u;
+    }
+    // Forward sweep (u holds the modified RHS), then back substitution.
+    u[0] = rhs[0] / diag;
+    for (std::size_t i = 1; i < n; ++i) {
+      u[i] = (rhs[i] + c * u[i - 1]) / (diag + c * cp[i - 1]);
+    }
+    for (std::size_t i = n - 1; i-- > 0;) {
+      u[i] -= cp[i] * u[i + 1];
+    }
+  }
+  return u;
+}
+
+}  // namespace pyhpc::scenarios

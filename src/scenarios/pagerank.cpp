@@ -1,0 +1,229 @@
+// Scenario (b): PageRank power iteration on a scale-free link matrix.
+// The preferential-attachment generator concentrates in-links on
+// low-numbered hub nodes, so the uniform row map carries a real nonzero
+// imbalance — exactly the workload Isorropia's partition_by_nonzeros is
+// for — and the per-iteration ghost fill is an irregular many-to-many
+// exchange. The iteration fetches its Import plan through a
+// structure-keyed SetupCache (tpetra::cached_import) every pass: one miss
+// per rank, hits thereafter (ROADMAP item 1's hot-path wiring).
+#include <algorithm>
+#include <cmath>
+
+#include "isorropia/partition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "scenarios/scenarios.hpp"
+#include "tpetra/crs_matrix.hpp"
+#include "tpetra/map.hpp"
+#include "tpetra/structure.hpp"
+#include "tpetra/vector.hpp"
+#include "util/random.hpp"
+#include "util/setup_cache.hpp"
+
+namespace pyhpc::scenarios {
+
+namespace {
+
+using Map = tpetra::Map<>;
+using Matrix = tpetra::CrsMatrix<double>;
+using Vector = tpetra::Vector<double>;
+using GO = std::int64_t;
+using LO = std::int32_t;
+
+/// Deterministic out-edges of node v (rank-count independent: the stream
+/// is seeded per node). Node 0 has no out-edges (a dangling hub), every
+/// later node attaches preferentially to low indices — squaring the
+/// uniform draw biases targets toward 0, producing the scale-free in-link
+/// skew. Duplicate targets are kept (they accumulate weight), self-loops
+/// are redirected to node 0.
+std::vector<GO> out_edges(GO v, const PageRankOptions& o) {
+  std::vector<GO> targets;
+  if (v == 0) return targets;  // dangling
+  util::Xoshiro256 rng(o.seed, static_cast<std::uint64_t>(v));
+  targets.reserve(static_cast<std::size_t>(o.out_degree));
+  for (int k = 0; k < o.out_degree; ++k) {
+    const double u = rng.next_double();
+    GO t = static_cast<GO>(u * u * static_cast<double>(v));
+    if (t >= v) t = v - 1;
+    if (t == v) t = 0;
+    targets.push_back(t);
+  }
+  return targets;
+}
+
+/// Assembles the link matrix A with A(i, j) = (#edges j->i) / outdeg(j):
+/// x' = A x is then the rank mass flowing along edges. Every rank scans
+/// the whole (cheap) edge stream and inserts only rows it owns.
+Matrix build_link_matrix(const Map& map, const PageRankOptions& o) {
+  Matrix a(map);
+  for (GO v = 0; v < o.nodes; ++v) {
+    const auto targets = out_edges(v, o);
+    if (targets.empty()) continue;
+    const double w = 1.0 / static_cast<double>(targets.size());
+    for (const GO t : targets) {
+      if (map.is_local_global_index(t)) {
+        a.insert_global_value(t, v, w);
+      }
+    }
+  }
+  a.fill_complete();
+  return a;
+}
+
+/// Power iteration with dangling-mass redistribution, the ghost fill
+/// routed through cached_import on each pass. Returns iterations taken;
+/// fills `x` (on `a`'s row map) with the converged vector.
+int iterate(const Matrix& a, Vector& x, const PageRankOptions& o,
+            util::SetupCache& cache, bool* converged) {
+  const auto& map = a.row_map();
+  const double n = static_cast<double>(o.nodes);
+  Vector ghost(a.col_map()), xnew(map);
+
+  // Dangling rows are columns with no out-edges — only node 0 here, but
+  // detect generically: outdeg(v) == 0.
+  std::vector<LO> dangling_local;
+  for (LO i = 0; i < map.num_local(); ++i) {
+    if (out_edges(map.local_to_global(i), o).empty()) {
+      dangling_local.push_back(i);
+    }
+  }
+
+  const std::span<const std::int64_t> rp = a.row_ptr();
+  const std::span<const LO> ci = a.col_ind();
+  const std::span<const double> va = a.values();
+
+  *converged = false;
+  int it = 0;
+  for (; it < o.max_iterations; ++it) {
+    // The structure repeats every pass, so after the first build this is
+    // a pure cache hit — the plan is shared, never rebuilt.
+    auto plan = tpetra::cached_import(cache, map, a.col_map());
+    ghost.do_import(x, *plan);
+
+    double dangling_mass = 0.0;
+    for (const LO i : dangling_local) dangling_mass += x[i];
+    dangling_mass = map.comm().allreduce_value(dangling_mass,
+                                               std::plus<double>{});
+
+    const double base = (1.0 - o.damping) / n + o.damping * dangling_mass / n;
+    const double* gv = ghost.local_view().data();
+    for (LO i = 0; i < map.num_local(); ++i) {
+      double acc = 0.0;
+      for (std::int64_t k = rp[static_cast<std::size_t>(i)];
+           k < rp[static_cast<std::size_t>(i) + 1]; ++k) {
+        acc += va[static_cast<std::size_t>(k)] *
+               gv[ci[static_cast<std::size_t>(k)]];
+      }
+      xnew[i] = o.damping * acc + base;
+    }
+
+    double delta = 0.0;
+    for (LO i = 0; i < map.num_local(); ++i) {
+      delta += std::abs(xnew[i] - x[i]);
+    }
+    delta = map.comm().allreduce_value(delta, std::plus<double>{});
+    for (LO i = 0; i < map.num_local(); ++i) x[i] = xnew[i];
+    if (delta < o.tolerance) {
+      *converged = true;
+      ++it;
+      break;
+    }
+  }
+  return it;
+}
+
+Vector nonzero_weights(const Matrix& a) {
+  Vector w(a.row_map());
+  const auto rp = a.row_ptr();
+  for (LO i = 0; i < a.num_local_rows(); ++i) {
+    w[i] = static_cast<double>(rp[static_cast<std::size_t>(i) + 1] -
+                               rp[static_cast<std::size_t>(i)]);
+  }
+  return w;
+}
+
+}  // namespace
+
+PageRankResult run_pagerank(comm::Communicator& comm,
+                            const PageRankOptions& options) {
+  require(options.nodes >= 2, "run_pagerank: need at least two nodes");
+  obs::Span span("scenario.pagerank", "scenarios");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  PageRankResult result;
+  auto uniform = Map::uniform(comm, options.nodes);
+  auto a = build_link_matrix(uniform, options);
+  {
+    auto w = nonzero_weights(a);
+    result.imbalance_before = isorropia::imbalance(w);
+  }
+
+  // Per-rank cache (the collective-lockstep rule from tpetra/structure.hpp:
+  // identical request stream on every rank). Prefix "import" puts the
+  // counters at import.hits / import.misses in the metrics snapshot.
+  util::SetupCache cache(8, "import");
+
+  if (options.rebalance) {
+    auto balanced = isorropia::partition_by_nonzeros(a);
+    a = isorropia::rebalance_matrix(a, balanced);
+    auto w = nonzero_weights(a);
+    result.imbalance_after = isorropia::imbalance(w);
+  } else {
+    result.imbalance_after = result.imbalance_before;
+  }
+
+  Vector x(a.row_map(), 1.0 / static_cast<double>(options.nodes));
+  result.iterations = iterate(a, x, options, cache, &result.converged);
+  result.x = x.gather_global();
+  result.import_hits = cache.stats().hits;
+  result.import_misses = cache.stats().misses;
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  auto& reg = obs::MetricsRegistry::global();
+  reg.set("scenario.pagerank.wall_ms", wall_ms);
+  reg.set("scenario.pagerank.iterations", result.iterations);
+  reg.set("scenario.pagerank.imbalance_before", result.imbalance_before);
+  reg.set("scenario.pagerank.imbalance_after", result.imbalance_after);
+  if (span.active()) {
+    span.arg("nodes", options.nodes);
+    span.arg("iterations", static_cast<std::int64_t>(result.iterations));
+    span.arg("rebalanced", options.rebalance ? "yes" : "no");
+  }
+  return result;
+}
+
+std::vector<double> pagerank_serial_reference(const PageRankOptions& options) {
+  const auto n = static_cast<std::size_t>(options.nodes);
+  // Column-compressed edges: for each source v, its targets.
+  std::vector<double> x(n, 1.0 / static_cast<double>(n)), xnew(n);
+  for (int it = 0; it < options.max_iterations; ++it) {
+    double dangling_mass = 0.0;
+    std::fill(xnew.begin(), xnew.end(), 0.0);
+    for (GO v = 0; v < options.nodes; ++v) {
+      const auto targets = out_edges(v, options);
+      if (targets.empty()) {
+        dangling_mass += x[static_cast<std::size_t>(v)];
+        continue;
+      }
+      const double w =
+          x[static_cast<std::size_t>(v)] / static_cast<double>(targets.size());
+      for (const GO t : targets) xnew[static_cast<std::size_t>(t)] += w;
+    }
+    const double base = (1.0 - options.damping) / static_cast<double>(n) +
+                        options.damping * dangling_mass /
+                            static_cast<double>(n);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      xnew[i] = options.damping * xnew[i] + base;
+      delta += std::abs(xnew[i] - x[i]);
+    }
+    x = xnew;
+    if (delta < options.tolerance) break;
+  }
+  return x;
+}
+
+}  // namespace pyhpc::scenarios

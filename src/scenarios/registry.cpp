@@ -1,0 +1,26 @@
+// The canonical scenario list. tools/check_docs.sh extracts the names
+// from this table and fails the docs gate when EXPERIMENTS.md lacks one,
+// so registering a scenario forces documenting it. Keep one entry per
+// line, name first, in the {"name", "summary"} form the grep expects.
+#include "scenarios/scenarios.hpp"
+
+namespace pyhpc::scenarios {
+
+std::vector<ScenarioInfo> registered_scenarios() {
+  return {
+      {"heat_equation",
+       "time-stepped 1D diffusion: halo-overlap SpMV + implicit CG per "
+       "step, serial Thomas oracle, resilient kill-rank variant"},
+      {"pagerank",
+       "power iteration on a scale-free link matrix via cached_import, "
+       "serial oracle, Isorropia nonzero-rebalanced variant"},
+      {"tabular_analytics",
+       "distributed filter + map-reduce group-by over a generated event "
+       "table, single-rank reference oracle"},
+      {"redistribution",
+       "element-exact round-trip through block/cyclic/block-cyclic/"
+       "explicit layouts in 1D and 2D"},
+  };
+}
+
+}  // namespace pyhpc::scenarios

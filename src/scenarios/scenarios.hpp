@@ -1,0 +1,204 @@
+// End-to-end distributed scenario suite (ROADMAP item 4): full-stack
+// applications that compose comm + ODIN + tpetra + isorropia + solvers +
+// obs, each paired with a correctness oracle. Every scenario is a plain
+// library function so the `scenario` tests, bench_scenarios, and the chaos
+// soak all drive the exact same code — the composed stack, not a
+// per-layer microbench, is the regression surface.
+//
+// The four applications:
+//  (a) heat_equation     — time-stepped 1D diffusion: an SpMV right-hand
+//                          side per step (split-phase halo overlap) and an
+//                          implicit CG solve per step; optional resilient
+//                          variant routes every solve through
+//                          solvers::resilient_solve with a fault armed
+//                          mid-run.
+//  (b) pagerank          — power iteration on a scale-free link matrix
+//                          (hub-skewed nonzeros: load imbalance), ghost
+//                          fills routed through a structure-keyed
+//                          cached_import, optional Isorropia
+//                          partition_by_nonzeros rebalancing.
+//  (c) tabular_analytics — distributed filter → map-reduce group-by
+//                          aggregate over a generated event table (the
+//                          paper's §III.I map-reduce claim).
+//  (d) redistribution    — round-trips array data through block → cyclic →
+//                          block-cyclic → explicit-block layouts and back,
+//                          asserting element-exact recovery.
+//
+// Each run_* call is collective over `comm`, opens a `scenario.<name>`
+// trace span, and folds per-run counters into the global MetricsRegistry
+// under `scenario.<name>.*` (wall_ms gauge plus scenario-specific
+// counters), so bench reports carry the scenario numbers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/fault.hpp"
+#include "util/checkpoint.hpp"
+
+namespace pyhpc::scenarios {
+
+// ---- registry -------------------------------------------------------------
+
+struct ScenarioInfo {
+  const char* name;     // metric prefix: scenario.<name>.*
+  const char* summary;  // one line for reports
+};
+
+/// The canonical scenario list. tools/check_docs.sh greps the names out of
+/// registry.cpp and fails the docs gate when EXPERIMENTS.md lacks one, so
+/// a scenario cannot be registered without being documented.
+std::vector<ScenarioInfo> registered_scenarios();
+
+// ---- (a) heat equation ----------------------------------------------------
+
+/// Time discretization of u_t = u_xx on [0,1], homogeneous Dirichlet.
+enum class HeatScheme {
+  /// (I + r/2 L) u' = (I - r/2 L) u — the RHS is an SpMV through
+  /// CrsMatrix::apply, i.e. the split-phase halo/compute overlap path.
+  kCrankNicolson,
+  /// (I + r L) u' = u — no RHS SpMV, so with the resilient solver every
+  /// message after assembly flows inside resilient_solve's recovery scope
+  /// (the variant fault schedules must target).
+  kBackwardEuler,
+};
+
+/// One fault rule armed by rank 0 *after* assembly (barrier-bracketed, as
+/// the recovery tests do), so setup is never the casualty.
+struct HeatFault {
+  comm::FaultKind kind = comm::FaultKind::kKillRank;
+  int victim = 1;                        // source rank (and kill victim)
+  int skip = 40;                         // fire this many messages in
+  std::chrono::milliseconds delay{80};   // kDelay only
+};
+
+struct HeatOptions {
+  std::int64_t n = 192;      // interior grid points
+  int steps = 8;
+  double r = 0.3;            // diffusion number alpha dt / dx^2
+  double tolerance = 1e-12;  // per-step CG tolerance
+  HeatScheme scheme = HeatScheme::kCrankNicolson;
+
+  /// Route every implicit solve through solvers::resilient_solve. Requires
+  /// `store` (one instance shared by all ranks of the run). A mid-solve
+  /// rank death then shrinks the world inside the solve; the run ends at
+  /// that step (the caller's collectives cannot continue on a revoked
+  /// communicator) with the recovered field in HeatResult::u.
+  bool resilient = false;
+  std::shared_ptr<util::CheckpointStore> store;
+
+  /// Optional fault schedule; needs `injector` (the one installed in the
+  /// run's CommConfig).
+  std::optional<HeatFault> fault;
+  std::shared_ptr<comm::FaultInjector> injector;
+};
+
+struct HeatResult {
+  std::vector<double> u;      // final field, global index order (replicated)
+  int steps_completed = 0;
+  int solver_iterations = 0;  // summed over completed steps
+  bool converged = false;     // every completed step's solve converged
+  int recoveries = 0;         // resilient variant: shrink rounds survived
+  int final_size = 0;         // communicator size at completion
+};
+
+/// Collective. On a killed rank this throws RankKilledError (contained by
+/// the runner); survivors return the recovered state.
+HeatResult run_heat(comm::Communicator& comm, const HeatOptions& options);
+
+/// Serial reference: identical time stepping with a direct (Thomas)
+/// tridiagonal solve per step. Pure local computation; `steps` in the
+/// options bounds the stepping (pass a copy with steps = steps_completed
+/// to check a run that a recovery ended early).
+std::vector<double> heat_serial_reference(const HeatOptions& options);
+
+// ---- (b) pagerank ---------------------------------------------------------
+
+struct PageRankOptions {
+  std::int64_t nodes = 400;
+  int out_degree = 4;        // preferential-attachment edges per node
+  std::uint64_t seed = 42;   // graph seed (rank-count independent)
+  double damping = 0.85;
+  double tolerance = 1e-10;  // on ||x_{k+1} - x_k||_1
+  int max_iterations = 300;
+  /// Repartition rows by nonzero count (Isorropia) before iterating; the
+  /// ranking must be invariant under the move.
+  bool rebalance = false;
+};
+
+struct PageRankResult {
+  std::vector<double> x;     // converged rank vector, global order
+  int iterations = 0;
+  bool converged = false;
+  double imbalance_before = 0.0;  // nnz imbalance on the uniform row map
+  double imbalance_after = 0.0;   // on the map actually iterated
+  std::uint64_t import_hits = 0;    // cached_import hits in the apply loop
+  std::uint64_t import_misses = 0;  // (one miss per rank, then all hits)
+};
+
+PageRankResult run_pagerank(comm::Communicator& comm,
+                            const PageRankOptions& options);
+
+/// Serial power iteration over the identically generated graph.
+std::vector<double> pagerank_serial_reference(const PageRankOptions& options);
+
+// ---- (c) tabular analytics ------------------------------------------------
+
+struct AnalyticsOptions {
+  std::int64_t events = 600;
+  int regions = 7;
+  int days = 5;
+  std::uint64_t seed = 7;
+  double min_amount = 100.0;  // filter threshold
+  /// Generate every row on rank 0 and rebalance first (the skew path).
+  bool skewed = false;
+};
+
+/// Group-by aggregate for one (region, day) group. Amounts are generated
+/// integer-valued, so sums compare exactly against the serial reference.
+struct GroupStat {
+  std::int64_t key = 0;  // region * days + day
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct AnalyticsResult {
+  std::vector<GroupStat> groups;  // every group, key-sorted, replicated
+  std::int64_t rows_kept = 0;     // global row count after the filter
+};
+
+AnalyticsResult run_analytics(comm::Communicator& comm,
+                              const AnalyticsOptions& options);
+
+/// Single-rank pandas-style reference over the same generated table.
+AnalyticsResult analytics_serial_reference(const AnalyticsOptions& options);
+
+// ---- (d) redistribution stress --------------------------------------------
+
+struct RedistOptions {
+  std::int64_t n = 257;    // deliberately not a multiple of common P
+  std::int64_t block = 3;  // block-cyclic block size
+  std::int64_t rows = 9, cols = 7;  // 2D leg extents
+};
+
+struct RedistResult {
+  bool exact = false;              // every element recovered bit-exactly
+  int hops = 0;                    // redistributions performed
+  std::int64_t elements_moved = 0; // global elements that changed owner
+};
+
+/// Round-trips a 1D array through block → cyclic → block-cyclic →
+/// explicit-block → block and a 2D array through axis/layout changes,
+/// verifying every element against its global-index formula after each
+/// hop. Collective.
+RedistResult run_redistribution(comm::Communicator& comm,
+                                const RedistOptions& options);
+
+}  // namespace pyhpc::scenarios

@@ -169,6 +169,7 @@ ResilientResult resilient_solve(util::CheckpointStore& store, const Matrix& a,
   bool rebuild = false;
   for (;;) {
     int attempt_start_it = s.it;
+    bool attempt_failed = false;
     try {
       if (rebuild) {
         // Survivors re-host the problem: uniform map on the shrunken
@@ -207,6 +208,37 @@ ResilientResult resilient_solve(util::CheckpointStore& store, const Matrix& a,
       res.final_size = cur.size();
       res.final_rank = cur.rank();
       res.x_global = s.x.gather_global();
+      // Detection: a peer died under a collective-internal receive, the
+      // communicator was revoked by another survivor, or a dropped message
+      // starved a receive past its deadline. The rank's OWN death
+      // (RankKilledError that is not PeerKilledError) is not caught — it
+      // propagates so the runner contains it as a simulated crash. The
+      // revoke happens here, before the exit agreement, so peers still
+      // blocked inside the interrupted collective fall out and can join it.
+    } catch (const PeerKilledError&) {
+      reg.add("recovery.detections", 1.0);
+      attempt_failed = true;
+      cur.revoke();
+    } catch (const RevokedError&) {
+      reg.add("recovery.detections", 1.0);
+      attempt_failed = true;
+      cur.revoke();
+    } catch (const RecvTimeoutError&) {
+      reg.add("recovery.detections", 1.0);
+      attempt_failed = true;
+      cur.revoke();
+    }
+    // Exit agreement (the MPI_Comm_agree idiom): no rank may treat the
+    // attempt as settled until every survivor has weighed in. Without it a
+    // fault at the attempt boundary splits the survivors — ranks whose own
+    // collectives all completed return success and sail into the caller's
+    // next operation, while the rank that observed the fault revokes and
+    // shrinks, and the two camps deadlock running different protocols on
+    // one communicator. A nonzero verdict (a corpse, a returned rank, or a
+    // failure flag from a starved peer) sends *everyone* into recovery.
+    const std::uint64_t verdict =
+        cur.agree(attempt_failed ? comm::Communicator::kAgreeFailureFlag : 0);
+    if (verdict == 0) {
       reg.set_max("recovery.checkpoint_bytes",
                   static_cast<double>(store.bytes_stored()));
       if (cur.rank() == 0 && res.recoveries > 0) {
@@ -219,19 +251,10 @@ ResilientResult resilient_solve(util::CheckpointStore& store, const Matrix& a,
         span.arg("iterations", static_cast<std::int64_t>(res.solve.iterations));
       }
       return res;
-      // Detection: a peer died under a collective-internal receive, the
-      // communicator was revoked by another survivor, or a dropped message
-      // starved a receive past its deadline. The rank's OWN death
-      // (RankKilledError that is not PeerKilledError) is not caught — it
-      // propagates so the runner contains it as a simulated crash.
-    } catch (const PeerKilledError&) {
-      reg.add("recovery.detections", 1.0);
-    } catch (const RevokedError&) {
-      reg.add("recovery.detections", 1.0);
-    } catch (const RecvTimeoutError&) {
-      reg.add("recovery.detections", 1.0);
     }
-    if (res.recoveries > 0) resolve_iterations += s.it - attempt_start_it;
+    if (attempt_failed && res.recoveries > 0) {
+      resolve_iterations += s.it - attempt_start_it;
+    }
     require<CommError>(
         res.recoveries < options.max_recoveries,
         util::cat("resilient_solve: recovery budget (", options.max_recoveries,

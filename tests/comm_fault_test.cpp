@@ -214,9 +214,11 @@ TEST(KillRank, DeathIsContainedAndObservable) {
       return;
     }
     for (int i = 0; i < 3; ++i) EXPECT_EQ(comm.recv_value<int>(1, 9), i);
-    // The 4th message went down with the rank; nothing more arrives.
+    // The 4th message went down with the rank; nothing more can arrive
+    // from it, and the receive fails fast on the corpse instead of
+    // waiting out its deadline (same semantics probe/iprobe always had).
     EXPECT_THROW((void)comm.recv_value_within<int>(150ms, 1, 9),
-                 pyhpc::RecvTimeoutError);
+                 pyhpc::PeerKilledError);
     EXPECT_TRUE(comm.rank_dead(1));
   });
   EXPECT_EQ(inj->counts().kills, 1u);

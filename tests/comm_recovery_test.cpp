@@ -6,6 +6,7 @@
 // Registered under the `faults` CTest label: `ctest -L faults`.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <memory>
@@ -420,6 +421,92 @@ TEST(ResilientSolve, RankKilledMidCgAtP8CompletesOnSurvivors) {
   EXPECT_GT(reg.value("recovery.checkpoint_bytes"), 0.0);
   EXPECT_TRUE(reg.has("recovery.resolve_iterations"));
   EXPECT_EQ(reg.value("faults.seed"), 808.0);
+}
+
+// Regression for the attempt-boundary split (found by the heat-equation
+// scenario, where warm-started 2-iteration solves put the kill right at a
+// solve boundary): without the exit agreement in resilient_solve, a rank
+// killed between one rank's successful return and another rank's detection
+// left the survivors running two different recovery protocols on one
+// communicator — a deadlock at roughly every boundary skip below. The
+// sweep walks the kill across the full message range of two back-to-back
+// solves, so every position (mid-CG, mid-gather, mid-agreement, between
+// solves) gets exercised; pre-fix this test hangs, post-fix every skip
+// terminates with either a clean double solve or a joint recovery.
+TEST(ResilientSolve, BoundaryKillSweepNeverSplitsRecoveryAcrossSolves) {
+  // n is tiny and the second solve is warm-started, so each solve spans
+  // only a few dozen victim messages and the sweep range reaches from
+  // mid-CG of the first solve past the first solve's exit (gather +
+  // agreement) into the second. Skips below 5 are excluded: they can land
+  // inside the arming barrier itself, which is deliberately outside the
+  // recovery scope (the acceptance tests arm with skip 40 for the same
+  // reason).
+  const std::int64_t n = 8;
+  for (int skip = 5; skip <= 95; skip += 5) {
+    SCOPED_TRACE(skip);
+    auto store = std::make_shared<pu::CheckpointStore>();
+    auto inj = std::make_shared<pc::FaultInjector>(
+        /*seed=*/100 + static_cast<std::uint64_t>(skip));
+    std::atomic<int> recoveries{0};
+
+    pc::run(4, config_with(inj), [&](pc::Communicator& comm) {
+      auto map = pt::Map<>::uniform(comm, n);
+      auto a = laplacian(map);
+      pt::Vector<double> xt(map), b(map), x(map);
+      for (std::int32_t i = 0; i < map.num_local(); ++i) {
+        xt[i] = truth(map.local_to_global(i));
+      }
+      a.apply(xt, b);
+
+      // Arm after assembly (setup is not in recovery scope), exactly like
+      // the acceptance test — only the skip varies across the sweep.
+      comm.barrier();
+      if (comm.rank() == 0) {
+        pc::FaultRule rule;
+        rule.kind = pc::FaultKind::kKillRank;
+        rule.source = 2;
+        rule.victim = 2;
+        rule.skip_first = skip;
+        rule.max_applications = 1;
+        inj->add_rule(rule);
+      }
+      comm.barrier();
+
+      // Two sequential solves on the same communicator, like one time step
+      // after another; a recovery ends the run (the original communicator
+      // is revoked), mirroring how a time-stepped caller must behave.
+      for (int solve = 0; solve < 2; ++solve) {
+        ps::ResilientOptions opts;
+        opts.krylov.tolerance = 1e-12;
+        opts.krylov.max_iterations = 200;
+        opts.checkpoint_interval = 2;
+        opts.key = solve == 0 ? "boundary.s0" : "boundary.s1";
+        auto res = ps::resilient_solve(*store, a, b, x, opts);
+        EXPECT_TRUE(res.solve.converged) << res.solve.summary();
+        for (std::int64_t i = 0; i < n; ++i) {
+          EXPECT_NEAR(res.x_global[static_cast<std::size_t>(i)], truth(i),
+                      1e-6);
+        }
+        if (res.recoveries > 0) {
+          int seen = recoveries.load();
+          while (seen < res.recoveries &&
+                 !recoveries.compare_exchange_weak(seen, res.recoveries)) {
+          }
+          break;
+        }
+        // Warm-start the next solve from the converged iterate, like a
+        // time-stepped caller would: its CG then finishes in a couple of
+        // messages, concentrating the sweep near the attempt boundary.
+        for (std::int32_t i = 0; i < map.num_local(); ++i) {
+          x[i] = res.x_global[static_cast<std::size_t>(map.local_to_global(i))];
+        }
+      }
+    });
+    EXPECT_LE(inj->counts().kills, 1u);
+    if (inj->counts().kills == 1) {
+      EXPECT_GE(recoveries.load(), 1) << "a kill fired but nobody recovered";
+    }
+  }
 }
 
 TEST(ResilientSolve, DroppedCollectiveMessageRecoversViaTimeoutAndShrink) {

@@ -276,6 +276,31 @@ TEST_P(ArraySweep, RedistributeRoundTripsAcrossSchemes) {
   });
 }
 
+TEST_P(ArraySweep, RedistributeToReplicatedFillsEveryRank) {
+  // Regression: redistribute shipped each element only to the canonical
+  // owner, so a replicated target was filled on rank 0 and left zeroed on
+  // every other rank (and the return trip then raced p divergent copies).
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    const index_t n = 10;
+    auto block = od::Distribution::block(comm, od::Shape({n}), 0);
+    auto x = Arr::arange(block, 1.0, 1.0);
+    auto rep = od::redistribute(x, od::Distribution::replicated(comm, od::Shape({n})));
+    ASSERT_EQ(rep.local_size(), n);  // every rank holds the full array
+    for (index_t l = 0; l < n; ++l) {
+      EXPECT_DOUBLE_EQ(rep.local_view()[static_cast<std::size_t>(l)],
+                       static_cast<double>(l) + 1.0)
+          << "rank " << comm.rank() << " local " << l;
+    }
+    // And back: one canonical copy moves, not p racing ones.
+    auto back = od::redistribute(rep, block);
+    for (index_t l = 0; l < back.local_size(); ++l) {
+      const auto g = back.dist().global_of_local(l);
+      EXPECT_DOUBLE_EQ(back.local_view()[static_cast<std::size_t>(l)],
+                       static_cast<double>(g[0]) + 1.0);
+    }
+  });
+}
+
 TEST_P(ArraySweep, ScalarOperatorSugar) {
   pc::run(GetParam(), [](pc::Communicator& comm) {
     auto dist = od::Distribution::block(comm, od::Shape({10}), 0);

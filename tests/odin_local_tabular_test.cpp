@@ -215,6 +215,146 @@ TEST_P(TabularSweep, RebalanceEvensSkewedTables) {
 }
 
 // ---------------------------------------------------------------------------
+// Map-reduce properties (the edges the group-by scenario leans on)
+// ---------------------------------------------------------------------------
+
+TEST_P(TabularSweep, MapReduceOnEmptyTableYieldsNoGroups) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    od::DistTable<Sale> table(comm, {});
+    EXPECT_EQ(table.global_size(), 0);
+    auto grouped = od::map_reduce<std::int64_t, double>(
+        table,
+        [](const Sale& s) {
+          return std::pair<std::int64_t, double>(s.store, s.amount);
+        },
+        [](double acc, double v) { return acc + v; });
+    EXPECT_TRUE(grouped.empty());
+  });
+}
+
+TEST_P(TabularSweep, MapReduceSingleGroupFoldsEveryRowOntoOneReducer) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    // Every row shares one key, so exactly one rank owns the one group and
+    // its aggregate covers all p * 6 rows.
+    std::vector<Sale> rows;
+    for (int i = 0; i < 6; ++i) {
+      rows.push_back(Sale{7, i, 1.5});
+    }
+    od::DistTable<Sale> table(comm, std::move(rows));
+    auto grouped = od::map_reduce<std::int64_t, double>(
+        table,
+        [](const Sale& s) {
+          return std::pair<std::int64_t, double>(s.store, s.amount);
+        },
+        [](double acc, double v) { return acc + v; });
+    struct KV {
+      std::int64_t k;
+      double v;
+    };
+    std::vector<KV> mine;
+    for (const auto& [k, v] : grouped) mine.push_back(KV{k, v});
+    auto chunks = comm.allgatherv(std::span<const KV>(mine));
+    int owners = 0;
+    double total = 0.0;
+    for (const auto& c : chunks) {
+      for (const auto& kv : c) {
+        ++owners;
+        EXPECT_EQ(kv.k, 7);
+        total = kv.v;
+      }
+    }
+    EXPECT_EQ(owners, 1);
+    EXPECT_DOUBLE_EQ(total, 1.5 * 6 * comm.size());
+  });
+}
+
+TEST_P(TabularSweep, MapReduceAllDistinctKeysPreservesEveryRow) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    // Globally unique keys: no fold ever happens, every value must come
+    // through untouched (and key-sorted per owner).
+    std::vector<Sale> rows;
+    for (int i = 0; i < 5; ++i) {
+      const std::int64_t key = comm.rank() * 5 + i;
+      rows.push_back(Sale{key, i, static_cast<double>(100 + key)});
+    }
+    od::DistTable<Sale> table(comm, std::move(rows));
+    auto grouped = od::map_reduce<std::int64_t, double>(
+        table,
+        [](const Sale& s) {
+          return std::pair<std::int64_t, double>(s.store, s.amount);
+        },
+        [](double acc, double v) { return acc + v; });
+    EXPECT_TRUE(std::is_sorted(
+        grouped.begin(), grouped.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; }));
+    struct KV {
+      std::int64_t k;
+      double v;
+    };
+    std::vector<KV> mine;
+    for (const auto& [k, v] : grouped) mine.push_back(KV{k, v});
+    auto chunks = comm.allgatherv(std::span<const KV>(mine));
+    std::map<std::int64_t, double> got;
+    for (const auto& c : chunks) {
+      for (const auto& kv : c) {
+        EXPECT_EQ(got.count(kv.k), 0u);
+        got[kv.k] = kv.v;
+      }
+    }
+    const std::int64_t total = 5 * comm.size();
+    EXPECT_EQ(got.size(), static_cast<std::size_t>(total));
+    for (std::int64_t k = 0; k < total; ++k) {
+      EXPECT_DOUBLE_EQ(got[k], static_cast<double>(100 + k)) << "key " << k;
+    }
+  });
+}
+
+TEST_P(TabularSweep, MapReduceMergesDuplicateKeysAcrossRanks) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    // The same two keys appear on every rank, so the shuffle must merge
+    // per-rank combiner outputs — count and sum see every contribution
+    // exactly once (a non-commutative-safe reducer would double-fold).
+    struct CountSum {
+      std::int64_t count;
+      double sum;
+    };
+    std::vector<Sale> rows;
+    for (int i = 0; i < 4; ++i) {
+      rows.push_back(Sale{i % 2, i, static_cast<double>(comm.rank() + 1)});
+    }
+    od::DistTable<Sale> table(comm, std::move(rows));
+    auto grouped = od::map_reduce<std::int64_t, CountSum>(
+        table,
+        [](const Sale& s) {
+          return std::pair<std::int64_t, CountSum>(s.store,
+                                                   CountSum{1, s.amount});
+        },
+        [](CountSum acc, const CountSum& v) {
+          return CountSum{acc.count + v.count, acc.sum + v.sum};
+        });
+    struct KV {
+      std::int64_t k;
+      CountSum v;
+    };
+    std::vector<KV> mine;
+    for (const auto& [k, v] : grouped) mine.push_back(KV{k, v});
+    auto chunks = comm.allgatherv(std::span<const KV>(mine));
+    const int p = comm.size();
+    // Sum over ranks r of (r+1), twice per key (two rows per key per rank).
+    const double want_sum = static_cast<double>(p) * (p + 1);
+    int seen = 0;
+    for (const auto& c : chunks) {
+      for (const auto& kv : c) {
+        ++seen;
+        EXPECT_EQ(kv.v.count, 2 * p) << "key " << kv.k;
+        EXPECT_DOUBLE_EQ(kv.v.sum, want_sum) << "key " << kv.k;
+      }
+    }
+    EXPECT_EQ(seen, 2);
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Distributed IO
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,130 @@
+// Fault-injection variants of the heat-equation scenario (`ctest -L
+// faults`): a rank killed mid-run must shrink the world through
+// resilient_solve and leave the survivors holding a field that still
+// matches the serial reference for the steps that completed; a dropped
+// message must recover via the deadline path without losing a rank.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+
+#include "comm/config.hpp"
+#include "comm/fault.hpp"
+#include "comm/runner.hpp"
+#include "obs/metrics.hpp"
+#include "scenarios/scenarios.hpp"
+#include "util/checkpoint.hpp"
+
+namespace pc = pyhpc::comm;
+namespace sc = pyhpc::scenarios;
+namespace pu = pyhpc::util;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+/// Checks the recovered field against the serial reference truncated to
+/// the steps that actually completed before the run ended.
+void expect_matches_reference(const sc::HeatResult& res, sc::HeatOptions o,
+                              double tolerance) {
+  ASSERT_GE(res.steps_completed, 1);
+  o.steps = res.steps_completed;
+  const auto ref = sc::heat_serial_reference(o);
+  ASSERT_EQ(res.u.size(), ref.size());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    max_err = std::max(max_err, std::abs(res.u[i] - ref[i]));
+  }
+  EXPECT_LT(max_err, tolerance);
+}
+
+}  // namespace
+
+TEST(HeatFaults, KilledRankMidSolveRecoversOntoSurvivors) {
+  auto& reg = pyhpc::obs::MetricsRegistry::global();
+  reg.reset();
+  auto inj = std::make_shared<pc::FaultInjector>(/*seed=*/909);
+  pc::CommConfig cfg;
+  cfg.injector = inj;
+
+  sc::HeatOptions o;
+  o.n = 96;
+  o.steps = 4;
+  // Backward Euler keeps every post-assembly message inside
+  // resilient_solve's recovery scope (no unprotected RHS SpMV).
+  o.scheme = sc::HeatScheme::kBackwardEuler;
+  o.resilient = true;
+  o.store = std::make_shared<pu::CheckpointStore>();
+  o.injector = inj;
+  o.fault = sc::HeatFault{pc::FaultKind::kKillRank, /*victim=*/5,
+                          /*skip=*/40, /*delay=*/0ms};
+
+  pc::run(8, cfg, [&](pc::Communicator& comm) {
+    // Rank 5 throws RankKilledError out of run_heat; the runner contains
+    // it, so only survivors reach the checks.
+    const auto res = sc::run_heat(comm, o);
+    EXPECT_TRUE(res.converged);
+    EXPECT_GE(res.recoveries, 1);
+    EXPECT_EQ(res.final_size, 8 - res.recoveries);
+    expect_matches_reference(res, o, 1e-6);
+  });
+  EXPECT_EQ(inj->counts().kills, 1u)
+      << "the kill never fired: the scenario did not exercise recovery";
+  EXPECT_GE(reg.value("recovery.detections"), 1.0);
+  EXPECT_GE(reg.value("recovery.shrinks"), 1.0);
+  EXPECT_GE(reg.value("scenario.heat_equation.recoveries"), 1.0);
+}
+
+TEST(HeatFaults, DroppedMessageRecoversWithoutLosingARank) {
+  auto inj = std::make_shared<pc::FaultInjector>(/*seed=*/17);
+  pc::CommConfig cfg;
+  cfg.injector = inj;
+  cfg.recv_timeout = 500ms;  // the drop is detected by deadline, not death
+
+  sc::HeatOptions o;
+  o.n = 64;
+  o.steps = 3;
+  o.scheme = sc::HeatScheme::kBackwardEuler;
+  o.resilient = true;
+  o.store = std::make_shared<pu::CheckpointStore>();
+  o.injector = inj;
+  o.fault = sc::HeatFault{pc::FaultKind::kDrop, /*victim=*/2,
+                          /*skip=*/60, /*delay=*/0ms};
+
+  pc::run(4, cfg, [&](pc::Communicator& comm) {
+    const auto res = sc::run_heat(comm, o);
+    EXPECT_TRUE(res.converged);
+    EXPECT_GE(res.recoveries, 1);
+    EXPECT_EQ(res.final_size, 4);  // nobody died: same size, fresh context
+    expect_matches_reference(res, o, 1e-6);
+  });
+  EXPECT_EQ(inj->counts().drops, 1u)
+      << "the drop never fired: the scenario did not exercise recovery";
+}
+
+TEST(HeatFaults, DelayedMessagesPerturbNothing) {
+  // Delays must never change the answer — only the clock.
+  auto inj = std::make_shared<pc::FaultInjector>(/*seed=*/23);
+  pc::CommConfig cfg;
+  cfg.injector = inj;
+
+  sc::HeatOptions o;
+  o.n = 64;
+  o.steps = 3;
+  o.injector = inj;
+  o.fault = sc::HeatFault{pc::FaultKind::kDelay, /*victim=*/1,
+                          /*skip=*/10, /*delay=*/30ms};
+  const auto ref = sc::heat_serial_reference(o);
+
+  pc::run(4, cfg, [&](pc::Communicator& comm) {
+    const auto res = sc::run_heat(comm, o);
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.steps_completed, o.steps);
+    ASSERT_EQ(res.u.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(res.u[i], ref[i], 1e-8);
+    }
+  });
+  EXPECT_GE(inj->counts().delays, 1u);
+}

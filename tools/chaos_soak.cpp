@@ -27,6 +27,7 @@
 #include "comm/runner.hpp"
 #include "odin/service.hpp"
 #include "obs/metrics.hpp"
+#include "scenarios/scenarios.hpp"
 #include "solvers/resilient.hpp"
 #include "tpetra/crs_matrix.hpp"
 #include "tpetra/map.hpp"
@@ -245,6 +246,64 @@ void zero_copy_pipeline(std::uint64_t seed) {
   });
 }
 
+// Scenario E: scenario sweep — the full heat-equation application
+// (src/scenarios) under the same seeded drop/delay/kill matrix the
+// resilient-CG soak uses. The end-to-end composition — assembly, time
+// stepping, resilient solves, checkpoint/restore — must either finish all
+// steps exactly or stop early at a recovery, and in both cases match the
+// serial Thomas reference for the steps that completed.
+void scenario_sweep(std::uint64_t seed) {
+  namespace sn = pyhpc::scenarios;
+  pu::SplitMix64 rng(seed);
+  auto inj = std::make_shared<pc::FaultInjector>(seed);
+  const int nranks = 4 + static_cast<int>(rng.next() % 5);  // 4..8
+  const int kind_pick = static_cast<int>(rng.next() % 3);
+  const int victim = 1 + static_cast<int>(rng.next() % (nranks - 1));
+  const int skip = 30 + static_cast<int>(rng.next() % 60);
+
+  sn::HeatOptions o;
+  o.n = 48 + static_cast<std::int64_t>(rng.next() % 4) * 16;
+  o.steps = 2 + static_cast<int>(rng.next() % 3);
+  o.scheme = sn::HeatScheme::kBackwardEuler;
+  o.resilient = true;
+  o.store = std::make_shared<pu::CheckpointStore>();
+  o.injector = inj;
+  sn::HeatFault fault;
+  fault.kind = kind_pick == 0   ? pc::FaultKind::kDrop
+               : kind_pick == 1 ? pc::FaultKind::kDelay
+                                : pc::FaultKind::kKillRank;
+  fault.victim = victim;
+  fault.skip = skip;
+  fault.delay = 80ms;
+  o.fault = fault;
+
+  pc::CommConfig cfg;
+  cfg.injector = inj;
+  cfg.recv_timeout = 2000ms;
+  pc::run(nranks, cfg, [&](pc::Communicator& comm) {
+    const auto res = sn::run_heat(comm, o);
+    check(res.solver_iterations > 0, "soak heat: no solver iterations ran");
+    check(res.converged, "soak heat: a completed step's solve diverged");
+    check(res.steps_completed >= 1, "soak heat: no step completed");
+    if (res.recoveries == 0) {
+      check(res.steps_completed == o.steps,
+            "soak heat: ended early without a recovery");
+    }
+    if (fault.kind == pc::FaultKind::kKillRank) {
+      check(res.final_size == nranks - res.recoveries,
+            "soak heat: survivor count inconsistent with recoveries");
+    }
+    sn::HeatOptions truncated = o;
+    truncated.steps = res.steps_completed;
+    const auto ref = sn::heat_serial_reference(truncated);
+    check(res.u.size() == ref.size(), "soak heat: field size mismatch");
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      check(std::abs(res.u[i] - ref[i]) < 1e-6,
+            "soak heat: field off at grid point " + std::to_string(i));
+    }
+  });
+}
+
 // Scenario D: service storm — a multiplexed driver service (DESIGN.md
 // §10) with 2–4 concurrent client sessions running exact arithmetic
 // pipelines while drop/duplicate/delay rules perturb the control tag.
@@ -351,7 +410,8 @@ int main(int argc, char** argv) {
   const Scenario scenarios[] = {{"collective_storm", collective_storm},
                                 {"resilient_cg", resilient_cg},
                                 {"zero_copy_pipeline", zero_copy_pipeline},
-                                {"service_storm", service_storm}};
+                                {"service_storm", service_storm},
+                                {"scenario_sweep", scenario_sweep}};
 
   std::vector<Failure> failures;
   int ran = 0;

@@ -8,6 +8,8 @@
 #   2. Every source subsystem directory src/<dir> has an entry in
 #      ARCHITECTURE.md (the subsystem map stays complete as directories
 #      are added).
+#   3. Every scenario registered in src/scenarios/registry.cpp has an
+#      EXPERIMENTS.md entry (a scenario cannot land undocumented).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -48,6 +50,19 @@ if [ -f "$ARCH" ]; then
       fail=1
     fi
   done
+fi
+
+REG="$ROOT/src/scenarios/registry.cpp"
+EXPS="$ROOT/EXPERIMENTS.md"
+if [ -f "$REG" ] && [ -f "$EXPS" ]; then
+  # Scenario names are the first string of each registry row: {"name", ...
+  while IFS= read -r scenario; do
+    if ! grep -q "$scenario" "$EXPS"; then
+      echo "UNDOCUMENTED SCENARIO: $scenario has no EXPERIMENTS.md entry"
+      fail=1
+    fi
+  done < <(grep -oE '^\s*\{"[a-z0-9_]+"' "$REG" \
+             | grep -oE '"[a-z0-9_]+"' | tr -d '"')
 fi
 
 if [ "$fail" -ne 0 ]; then
