@@ -17,6 +17,8 @@
 #include "obs/trace.hpp"
 #include "odin/distribution.hpp"
 #include "odin/shape.hpp"
+#include "util/default_init.hpp"
+#include "util/exec_space.hpp"
 #include "util/random.hpp"
 #include "util/task_pool.hpp"
 
@@ -60,7 +62,7 @@ class DistArray {
  public:
   using value_type = T;
 
-  /// Uninitialized (value-initialized) array over a distribution.
+  /// Zero-initialized array over a distribution.
   explicit DistArray(Distribution dist)
       : dist_(std::make_shared<Distribution>(std::move(dist))),
         data_(static_cast<std::size_t>(dist_->local_count()), T{}) {}
@@ -68,6 +70,17 @@ class DistArray {
   DistArray(Distribution dist, T fill)
       : dist_(std::make_shared<Distribution>(std::move(dist))),
         data_(static_cast<std::size_t>(dist_->local_count()), fill) {}
+
+  /// Result-array factory for single-pass kernels (map, zip, fused eval,
+  /// where, creation fills): the local buffer is allocated but NOT
+  /// zero-filled, so the writing kernel's stores are the buffer's first
+  /// touch instead of a second pass over freshly memset pages. Call-site
+  /// rule: every local element must be written before it can be read —
+  /// anything with partial or communication-dependent coverage
+  /// (redistribute, slicing) takes the zeroing constructor instead.
+  static DistArray uninitialized(Distribution dist) {
+    return DistArray(std::move(dist), Uninit{});
+  }
 
   const Distribution& dist() const { return *dist_; }
   const Shape& shape() const { return dist_->global_shape(); }
@@ -98,7 +111,7 @@ class DistArray {
 
   /// 1D arange [start, start + n*step) over an existing distribution.
   static DistArray arange(Distribution dist, T start = T{0}, T step = T{1}) {
-    DistArray a(std::move(dist));
+    DistArray a(std::move(dist), Uninit{});
     a.fill_from_global([&](const std::vector<index_t>& g) {
       return start + static_cast<T>(g.back()) * step;
     });
@@ -109,7 +122,7 @@ class DistArray {
   static DistArray linspace(Distribution dist, T lo, T hi) {
     require<ShapeError>(dist.ndim() == 1, "linspace: needs a 1D distribution");
     const index_t n = dist.global_shape().extent(0);
-    DistArray a(std::move(dist));
+    DistArray a(std::move(dist), Uninit{});
     const T step = n > 1 ? (hi - lo) / static_cast<T>(n - 1) : T{0};
     a.fill_from_global([&](const std::vector<index_t>& g) {
       return lo + static_cast<T>(g[0]) * step;
@@ -121,7 +134,7 @@ class DistArray {
   /// odin.rand: each node seeds its own stream from (seed, rank) and no
   /// array data crosses the wire.
   static DistArray random(Distribution dist, std::uint64_t seed = 0) {
-    DistArray a(std::move(dist));
+    DistArray a(std::move(dist), Uninit{});
     util::Xoshiro256 rng(seed, static_cast<std::uint64_t>(a.dist().rank()));
     for (auto& x : a.data_) x = static_cast<T>(rng.next_double());
     return a;
@@ -130,39 +143,34 @@ class DistArray {
   /// Evaluates f(global multi-index) on every local element.
   static DistArray fromfunction(
       Distribution dist, const std::function<T(const std::vector<index_t>&)>& f) {
-    DistArray a(std::move(dist));
+    DistArray a(std::move(dist), Uninit{});
     a.fill_from_global(f);
     return a;
   }
 
   // ---- elementwise (local, no communication when conformable) -----------
 
-  /// In-place transform of every local element. Threaded over the rank's
-  /// task pool above one grain of elements (serial below it).
+  /// In-place transform of every local element. Dispatched through the
+  /// execution-space layer's SoA map kernel (the local buffer is a
+  /// contiguous unit-stride scalar array, so the SIMD backend vectorizes
+  /// it); above one grain of elements the selected space schedules the
+  /// chunks, below it the kernel runs inline.
   template <class F>
   void transform(F&& f) {
     T* d = data_.data();
-    util::parallel_for(0, static_cast<std::int64_t>(data_.size()),
-                       util::kDefaultGrain,
-                       [&f, d](std::int64_t lo, std::int64_t hi) {
-                         for (std::int64_t i = lo; i < hi; ++i) d[i] = f(d[i]);
-                       });
+    util::exec::map(util::exec::default_space(), d, d,
+                    static_cast<std::int64_t>(data_.size()),
+                    util::kDefaultGrain, f);
   }
 
   /// New array g(this) with the same distribution (unary ufunc kernel;
-  /// threaded like transform).
+  /// dispatched like transform).
   template <class F>
   DistArray map(F&& f) const {
-    DistArray out(*dist_);
-    const T* src = data_.data();
-    T* dst = out.data_.data();
-    util::parallel_for(0, static_cast<std::int64_t>(data_.size()),
-                       util::kDefaultGrain,
-                       [&f, src, dst](std::int64_t lo, std::int64_t hi) {
-                         for (std::int64_t i = lo; i < hi; ++i) {
-                           dst[i] = f(src[i]);
-                         }
-                       });
+    DistArray out = uninitialized(*dist_);
+    util::exec::map(util::exec::default_space(), data_.data(),
+                    out.data_.data(), static_cast<std::int64_t>(data_.size()),
+                    util::kDefaultGrain, f);
     return out;
   }
 
@@ -174,20 +182,20 @@ class DistArray {
 
   // ---- reductions (collective) ------------------------------------------
 
-  /// Local fold then allreduce. The local fold runs as a deterministic
-  /// chunked reduction: chunk boundaries depend only on the grain (never
-  /// the thread count), each chunk folds left-to-right, and partials merge
-  /// in a fixed pairwise tree — so the result is bit-identical for any
-  /// thread count, and equal to the plain serial fold whenever the local
-  /// part fits in one chunk.
+  /// Local fold then allreduce. The local fold runs as the execution-space
+  /// layer's deterministic chunked reduction: chunk boundaries depend only
+  /// on the grain (never the thread count or backend), each chunk folds
+  /// left-to-right, and partials merge in a fixed pairwise tree — so the
+  /// result is bit-identical for any thread count and any Space, and equal
+  /// to the plain serial fold whenever the local part fits in one chunk.
   template <class F>
   T reduce(T init, F&& op) const {
     const T* d = data_.data();
     const auto n = static_cast<std::int64_t>(data_.size());
     T acc = init;
     if (n > 0) {
-      acc = util::parallel_reduce(
-          0, n, util::kDefaultGrain, init,
+      acc = util::exec::transform_reduce(
+          util::exec::default_space(), 0, n, util::kDefaultGrain, init,
           [&op, &init, d](std::int64_t lo, std::int64_t hi) {
             T a = lo == 0 ? init : d[lo];
             for (std::int64_t i = lo == 0 ? lo : lo + 1; i < hi; ++i) {
@@ -215,8 +223,8 @@ class DistArray {
     const auto n = static_cast<std::int64_t>(data_.size());
     T acc = std::numeric_limits<T>::max();
     if (n > 0) {
-      acc = util::parallel_reduce(
-          0, n, util::kDefaultGrain, acc,
+      acc = util::exec::transform_reduce(
+          util::exec::default_space(), 0, n, util::kDefaultGrain, acc,
           [d](std::int64_t lo, std::int64_t hi) {
             T a = d[lo];
             for (std::int64_t i = lo + 1; i < hi; ++i) a = std::min(a, d[i]);
@@ -234,8 +242,8 @@ class DistArray {
     const auto n = static_cast<std::int64_t>(data_.size());
     T acc = std::numeric_limits<T>::lowest();
     if (n > 0) {
-      acc = util::parallel_reduce(
-          0, n, util::kDefaultGrain, acc,
+      acc = util::exec::transform_reduce(
+          util::exec::default_space(), 0, n, util::kDefaultGrain, acc,
           [d](std::int64_t lo, std::int64_t hi) {
             T a = d[lo];
             for (std::int64_t i = lo + 1; i < hi; ++i) a = std::max(a, d[i]);
@@ -254,8 +262,9 @@ class DistArray {
 
   double norm2() const {
     const T* d = data_.data();
-    const double acc = util::parallel_reduce(
-        0, static_cast<std::int64_t>(data_.size()), util::kDefaultGrain, 0.0,
+    const double acc = util::exec::transform_reduce(
+        util::exec::default_space(), 0,
+        static_cast<std::int64_t>(data_.size()), util::kDefaultGrain, 0.0,
         [d](std::int64_t lo, std::int64_t hi) {
           double a = 0.0;
           for (std::int64_t i = lo; i < hi; ++i) {
@@ -320,20 +329,19 @@ class DistArray {
   }
 
  private:
+  struct Uninit {};
+  DistArray(Distribution dist, Uninit)
+      : dist_(std::make_shared<Distribution>(std::move(dist))),
+        data_(static_cast<std::size_t>(dist_->local_count())) {}
+
   /// Elementwise f over operands already known to be conformable.
   template <class F>
   DistArray zip_local(const DistArray& other, F&& f) const {
-    DistArray out(*dist_);
-    const T* a = data_.data();
-    const T* b = other.data_.data();
-    T* dst = out.data_.data();
-    util::parallel_for(0, static_cast<std::int64_t>(data_.size()),
-                       util::kDefaultGrain,
-                       [&f, a, b, dst](std::int64_t lo, std::int64_t hi) {
-                         for (std::int64_t i = lo; i < hi; ++i) {
-                           dst[i] = f(a[i], b[i]);
-                         }
-                       });
+    DistArray out = uninitialized(*dist_);
+    util::exec::zip(util::exec::default_space(), data_.data(),
+                    other.data_.data(), out.data_.data(),
+                    static_cast<std::int64_t>(data_.size()),
+                    util::kDefaultGrain, f);
     return out;
   }
 
@@ -385,7 +393,9 @@ class DistArray {
                                    const Distribution& target);
 
   std::shared_ptr<Distribution> dist_;
-  std::vector<T> data_;
+  // DefaultInitAllocator so the Uninit path can skip the zero-fill; the
+  // public constructors pass an explicit fill value and are unaffected.
+  std::vector<T, util::DefaultInitAllocator<T>> data_;
 };
 
 /// Moves an array onto a new distribution of the same global shape

@@ -17,7 +17,10 @@ UfuncRegistry& UfuncRegistry::builtin() {
     r.register_binary("sub", [](double x, double y) { return x - y; });
     r.register_binary("mul", [](double x, double y) { return x * y; });
     r.register_binary("div", [](double x, double y) { return x / y; });
-    r.register_binary("hypot", [](double x, double y) { return std::hypot(x, y); });
+    // Same sqrt(x^2 + y^2) formulation as od::hypot so the registry entry
+    // and the direct ufunc agree bit-for-bit.
+    r.register_binary("hypot",
+                      [](double x, double y) { return std::sqrt(x * x + y * y); });
     r.register_binary("pow", [](double x, double y) { return std::pow(x, y); });
     r.register_binary("min", [](double x, double y) { return std::min(x, y); });
     r.register_binary("max", [](double x, double y) { return std::max(x, y); });

@@ -1,0 +1,103 @@
+#include "util/exec_space.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace pyhpc::util::exec {
+
+namespace {
+
+// Per-thread default, mirrored on TaskPool's thread-override pattern:
+// comm::run installs CommConfig::exec_space here for the lifetime of each
+// rank body, so kernels on that rank (and tasks its pool runs on its
+// behalf — the pool inherits the scheduling thread's chunking decisions,
+// not this variable) resolve without an explicit Space argument.
+thread_local bool t_has_override = false;
+thread_local Space t_override = Space::kTaskPool;
+
+// PYHPC_EXEC_SPACE, parsed once under a flag (getenv is not required to
+// be thread-safe against setenv, and the value is process-wide anyway).
+Space env_space() {
+  static std::once_flag once;
+  static Space cached = Space::kTaskPool;
+  std::call_once(once, [] {
+    if (const char* s = std::getenv("PYHPC_EXEC_SPACE")) {
+      cached = parse_space(s);
+    }
+  });
+  return cached;
+}
+
+}  // namespace
+
+const char* space_name(Space space) {
+  switch (space) {
+    case Space::kSerial:
+      return "serial";
+    case Space::kTaskPool:
+      return "pool";
+    case Space::kTaskPoolSimd:
+      return "simd";
+  }
+  return "?";
+}
+
+Space parse_space(const std::string& name) {
+  std::string s;
+  s.reserve(name.size());
+  for (char c : name) s.push_back(static_cast<char>(std::tolower(c)));
+  if (s == "serial") return Space::kSerial;
+  if (s == "pool" || s == "taskpool") return Space::kTaskPool;
+  if (s == "simd" || s == "pool+simd" || s == "taskpoolsimd") {
+    return Space::kTaskPoolSimd;
+  }
+  throw InvalidArgument("unknown execution space \"" + name +
+                        "\" (expected serial | pool | simd)");
+}
+
+Space default_space() {
+  if (t_has_override) return t_override;
+  return env_space();
+}
+
+void set_thread_default(Space space) {
+  t_has_override = true;
+  t_override = space;
+}
+
+void clear_thread_default() { t_has_override = false; }
+
+bool simd_host_has_avx2() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+
+void count_region(Space space) {
+  auto& reg = obs::MetricsRegistry::global();
+  switch (space) {
+    case Space::kSerial:
+      reg.add("exec.serial", 1.0);
+      break;
+    case Space::kTaskPool:
+      reg.add("exec.pool", 1.0);
+      break;
+    case Space::kTaskPoolSimd:
+      reg.add("exec.simd", 1.0);
+      break;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace pyhpc::util::exec

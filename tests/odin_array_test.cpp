@@ -47,6 +47,20 @@ TEST_P(ArraySweep, CreationRoutines) {
   });
 }
 
+// Kernel result arrays are allocated without the zero-fill pass
+// (DistArray::uninitialized, DESIGN.md §11.4); the zero-semantics
+// constructors must keep zeroing regardless — every element, not just a
+// reduction over them.
+TEST_P(ArraySweep, FreshAndZerosArraysAreElementwiseZero) {
+  pc::run(GetParam(), [](pc::Communicator& comm) {
+    auto dist = od::Distribution::block(comm, od::Shape({257}), 0);
+    Arr fresh(dist);
+    auto z = Arr::zeros(dist);
+    for (const double v : fresh.local_view()) EXPECT_EQ(v, 0.0);
+    for (const double v : z.local_view()) EXPECT_EQ(v, 0.0);
+  });
+}
+
 TEST_P(ArraySweep, LinspaceMatchesPaperExample) {
   pc::run(GetParam(), [](pc::Communicator& comm) {
     // x = odin.linspace(1, 2*pi, n); y = odin.sin(x)  (paper §III.G).

@@ -10,6 +10,9 @@
 #      are added).
 #   3. Every scenario registered in src/scenarios/registry.cpp has an
 #      EXPERIMENTS.md entry (a scenario cannot land undocumented).
+#   4. Every execution-space backend (enum Space in src/util/exec_space.hpp)
+#      is documented in DESIGN.md §11 — adding a backend without writing
+#      down its contract fails the gate.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -63,6 +66,26 @@ if [ -f "$REG" ] && [ -f "$EXPS" ]; then
     fi
   done < <(grep -oE '^\s*\{"[a-z0-9_]+"' "$REG" \
              | grep -oE '"[a-z0-9_]+"' | tr -d '"')
+fi
+
+EXEC="$ROOT/src/util/exec_space.hpp"
+DESIGN="$ROOT/DESIGN.md"
+if [ -f "$EXEC" ] && [ -f "$DESIGN" ]; then
+  # Backend enumerators are the kCamelCase names inside `enum class Space`.
+  section="$(awk '/^## 11/ { in_sec = 1 } in_sec && /^## 12/ { exit } in_sec' \
+               "$DESIGN")"
+  if [ -z "$section" ]; then
+    echo "MISSING SECTION: DESIGN.md has no §11 (execution spaces)"
+    fail=1
+  fi
+  while IFS= read -r backend; do
+    if ! printf '%s' "$section" | grep -q "$backend"; then
+      echo "UNDOCUMENTED BACKEND: $backend has no DESIGN.md §11 entry"
+      fail=1
+    fi
+  done < <(awk '/^enum class Space/ { in_enum = 1; next }
+                in_enum && /^\}/ { exit } in_enum' "$EXEC" \
+             | grep -oE 'k[A-Za-z0-9]+')
 fi
 
 if [ "$fail" -ne 0 ]; then

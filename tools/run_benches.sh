@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Builds the benchmark suite in Release, runs every bench_* binary with
 # --benchmark_format=json, and merges the results plus a live metrics
-# snapshot into BENCH_PR9.json at the repo root (trace in trace_pr9.json).
+# snapshot into BENCH_PR10.json at the repo root (trace in trace_pr10.json).
 # EXPERIMENTS.md §"Bench pipeline" documents the report schema and how to
 # diff reports across PRs.
 #
@@ -11,8 +11,8 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build-bench}"
-OUT="${OUT_FILE:-$ROOT/BENCH_PR9.json}"
-TRACE="${TRACE_FILE:-$ROOT/trace_pr9.json}"
+OUT="${OUT_FILE:-$ROOT/BENCH_PR10.json}"
+TRACE="${TRACE_FILE:-$ROOT/trace_pr10.json}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j "$(nproc)"
